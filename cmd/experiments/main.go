@@ -1,0 +1,98 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (Section 5). Each experiment prints the same rows or
+// series the paper reports; absolute numbers are machine-specific, the
+// shapes are the reproduction target.
+//
+// Usage:
+//
+//	experiments -exp all            # everything, full scale (slow)
+//	experiments -exp fig5 -quick    # one experiment at reduced scale
+//	experiments -list               # list experiment ids
+//
+// Experiments: table1 (alias fig3), table2, table4, fig5, fig6, fig7,
+// table5, table6, overhead, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list)")
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	modelsPath := flag.String("models", "", "optional perfmodel JSON built by cmd/perfmodel")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("table1 | fig3   transition-threshold analysis (Figure 3, Table 1)")
+		fmt.Println("table2          variant inventory (Table 2)")
+		fmt.Println("table4          selection rules (Table 4)")
+		fmt.Println("fig5            single-phase micro-benchmarks (Figure 5 a-e)")
+		fmt.Println("fig6            multi-phase scenario (Figure 6)")
+		fmt.Println("fig7            analysis overhead by window size (Figure 7)")
+		fmt.Println("table5          DaCapo-substitute applications (Table 5)")
+		fmt.Println("table6          most common transitions (Table 6)")
+		fmt.Println("overhead        framework overhead, impossible rule (Section 5.3)")
+		fmt.Println("ablation        design-decision ablations (DESIGN.md section 5)")
+		fmt.Println("all             everything above")
+		return
+	}
+
+	sc := experiments.FullScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+
+	var models *perfmodel.Models
+	if *modelsPath != "" {
+		m, err := perfmodel.LoadFile(*modelsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading models: %v\n", err)
+			os.Exit(1)
+		}
+		models = m
+	}
+
+	w := os.Stdout
+	run := func(id string) {
+		switch id {
+		case "table1", "fig3":
+			experiments.PrintThresholds(w, experiments.RunThresholdAnalysis(sc.ThresholdTrials))
+		case "table2":
+			experiments.PrintTable2(w)
+		case "table4":
+			experiments.PrintTable4(w)
+		case "fig5":
+			experiments.PrintFig5(w, experiments.RunFig5(sc))
+		case "fig6":
+			experiments.PrintFig6(w, experiments.RunFig6(sc))
+		case "fig7":
+			experiments.PrintFig7(w, experiments.RunFig7(models))
+		case "table5", "table6":
+			rows := experiments.RunTable5(sc)
+			experiments.PrintTable5(w, rows)
+			experiments.PrintTable6(w, experiments.Table6From(rows))
+		case "overhead":
+			experiments.PrintOverhead(w, experiments.RunOverhead(sc))
+		case "ablation":
+			experiments.PrintAblation(w, experiments.RunAblation(sc))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table2", "table4", "fig3", "fig7", "fig5", "fig6", "table5", "overhead"} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,62 @@
+// Command perfmodel is the performance-model builder of Section 4.1: it
+// benchmarks every collection variant under the factorial plan of Table 3
+// (sizes 10, 50, 100..1000 × populate/contains/iterate/middle × int ×
+// uniform) on this machine, fits least-squares cubic cost models, and writes
+// them as JSON for the CollectionSwitch engine to load.
+//
+// Usage:
+//
+//	perfmodel -o models.json            # full Table 3 plan (minutes)
+//	perfmodel -o models.json -quick     # reduced plan (seconds)
+//	perfmodel -print                    # also dump the fitted curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/collections"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	out := flag.String("o", "models.json", "output path for the fitted models")
+	quick := flag.Bool("quick", false, "use the reduced plan")
+	print := flag.Bool("print", false, "print fitted curves to stdout")
+	flag.Parse()
+
+	plan := perfmodel.DefaultPlan()
+	if *quick {
+		plan = perfmodel.QuickPlan()
+	}
+	fmt.Fprintf(os.Stderr, "benchmarking %d sizes x %d ops per variant (plan degree %d)\n",
+		len(plan.Sizes), len(plan.Ops), plan.Degree)
+
+	b := perfmodel.NewBuilder(plan)
+	b.Progress = func(v collections.VariantID, op perfmodel.Op) {
+		fmt.Fprintf(os.Stderr, "  measured %s/%s\n", v, op)
+	}
+	models, err := b.BuildAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building models: %v\n", err)
+		os.Exit(1)
+	}
+	if err := models.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "saving models: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d curves to %s\n", models.Len(), *out)
+
+	if *print {
+		for _, v := range models.Variants() {
+			for _, op := range perfmodel.Ops() {
+				for _, dim := range perfmodel.Dimensions() {
+					if desc, ok := models.CurveString(v, op, dim); ok {
+						fmt.Printf("%s %s %s: %s\n", v, op, dim, desc)
+					}
+				}
+			}
+		}
+	}
+}

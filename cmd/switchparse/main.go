@@ -1,0 +1,97 @@
+// Command switchparse is the automated parser of Section 4.3: it rewrites
+// collection allocation sites that use the default constructors
+// (collections.NewArrayList / NewHashSet / NewHashMap) into static adaptive
+// allocation contexts, as Figure 4 illustrates.
+//
+// Usage:
+//
+//	switchparse file.go            # print the rewritten file to stdout
+//	switchparse -w file.go dir/    # rewrite files in place
+//	switchparse -list dir/         # only list the rewritable sites
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/rewrite"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite files in place instead of printing")
+	list := flag.Bool("list", false, "only list rewritable allocation sites")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: switchparse [-w | -list] <files or dirs>")
+		os.Exit(2)
+	}
+
+	var files []string
+	for _, arg := range flag.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fatal(err)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	total := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if *list {
+			sites, err := rewrite.ScanFile(src, path)
+			if err != nil {
+				fatal(err)
+			}
+			for _, s := range sites {
+				fmt.Printf("%s:%d:%d: %s (%s[%s])\n", s.File, s.Line, s.Col, s.Original, s.Kind, s.TypeArgs)
+			}
+			total += len(sites)
+			continue
+		}
+		out, sites, err := rewrite.RewriteFile(src, path)
+		if err != nil {
+			fatal(err)
+		}
+		if len(sites) == 0 {
+			continue
+		}
+		total += len(sites)
+		if *write {
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "rewrote %d sites in %s\n", len(sites), path)
+		} else {
+			os.Stdout.Write(out)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d allocation sites total\n", total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "switchparse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "CollectionSwitch: A
+// Framework for Efficient and Dynamic Collection Selection" (Costa &
+// Andrzejak, CGO'18). The root package carries only documentation and the
+// top-level benchmark harness (bench_test.go, one benchmark per table and
+// figure of the paper's evaluation); the implementation lives under
+// internal/ — see DESIGN.md for the system inventory and README.md for a
+// tour.
+package repro

@@ -1,0 +1,98 @@
+package apps
+
+import "repro/internal/collections"
+
+// Avrora substitutes the DaCapo avrora benchmark: a discrete-event AVR
+// microcontroller network simulator. Its reported collection pathology is a
+// profusion of small HashSets — per-node neighbor sets and per-step pending
+// event sets of a few dozen elements at most — interrogated with frequent
+// membership tests. Under Rtime the paper reports HS → OpenHashSet; under
+// Ralloc HS → AdaptiveSet (Table 6).
+type Avrora struct {
+	nodes, steps int
+	// degree bounds the neighbor-set sizes (small, ranging — the spread
+	// that makes adaptive variants eligible).
+	minDegree, maxDegree int
+}
+
+// NewAvrora returns the avrora substitute at the given workload scale.
+func NewAvrora(scale float64) *Avrora {
+	return &Avrora{
+		nodes:     scaled(768, scale),
+		steps:     scaled(400, scale),
+		minDegree: 3,
+		maxDegree: 28,
+	}
+}
+
+// Name returns the DaCapo benchmark name.
+func (a *Avrora) Name() string { return "avrora" }
+
+// Run simulates the sensor network.
+func (a *Avrora) Run(env *Env) {
+	r := env.Rand()
+	newNeighborSet := env.SetSite("avrora/Node.neighbors", collections.HashSetID)
+	newEventSet := env.SetSite("avrora/EventQueue.pending", collections.HashSetID)
+
+	// Topology: each node gets a neighbor set of varying size. The
+	// topology is rebuilt periodically (nodes move), so the retained
+	// generation both contributes to peak memory and lets the
+	// allocation-site adaptation observe finished instances.
+	// Nodes join the network over the run (20% at boot, all by the end),
+	// so the final — adapted — topology generation sets the heap peak.
+	neighbors := make([]collections.Set[int], a.nodes)
+	rebuild := func(step int) {
+		active := a.nodes * (step + 4*a.steps/5) / (a.steps + a.steps*4/5)
+		if active < a.nodes/5 {
+			active = a.nodes / 5
+		}
+		if active > a.nodes {
+			active = a.nodes
+		}
+		for i := range neighbors {
+			if i >= active {
+				neighbors[i] = nil
+				continue
+			}
+			s := newNeighborSet()
+			degree := a.minDegree + r.Intn(a.maxDegree-a.minDegree+1)
+			for d := 0; d < degree; d++ {
+				s.Add(r.Intn(a.nodes))
+			}
+			neighbors[i] = s
+		}
+	}
+	rebuild(0)
+
+	rebuildEvery := a.steps/5 + 1
+	checkpointEvery := a.steps/20 + 1
+	for step := 0; step < a.steps; step++ {
+		if step > 0 && step%rebuildEvery == 0 {
+			rebuild(step)
+		}
+		// Each step a transient pending-event set is built and probed —
+		// the short-lived small-set churn avrora is known for.
+		pending := newEventSet()
+		firing := 4 + r.Intn(24)
+		for f := 0; f < firing; f++ {
+			pending.Add(r.Intn(a.nodes))
+		}
+		for probe := 0; probe < 40; probe++ {
+			node := r.Intn(a.nodes)
+			if pending.Contains(node) {
+				env.Sink++
+				// Deliver: membership tests against the neighbor sets.
+				if nb := neighbors[node]; nb != nil {
+					for q := 0; q < 8; q++ {
+						if nb.Contains(r.Intn(a.nodes)) {
+							env.Sink++
+						}
+					}
+				}
+			}
+		}
+		if step%checkpointEvery == 0 {
+			env.Checkpoint()
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package apps
+
+import "repro/internal/collections"
+
+// Bloat substitutes the DaCapo bloat benchmark (the 2006-era BLOAT bytecode
+// optimizer), whose documented pathology is LinkedList misuse: control-flow
+// graph node lists declared as LinkedList but accessed positionally and
+// iterated heavily by the analysis passes. The paper reports LL → AL under
+// Rtime and HS → AdaptiveSet under Ralloc for its small def-use sets
+// (Table 6).
+type Bloat struct {
+	methods              int
+	minBlocks, maxBlocks int
+	passes               int
+}
+
+// NewBloat returns the bloat substitute at the given workload scale.
+func NewBloat(scale float64) *Bloat {
+	return &Bloat{
+		// Enough methods that the per-method list sites fill the
+		// 100-instance monitoring window even at reduced scales.
+		methods:   scaled(600, scale),
+		minBlocks: 20,
+		maxBlocks: 180,
+		passes:    3,
+	}
+}
+
+// Name returns the DaCapo benchmark name.
+func (b *Bloat) Name() string { return "bloat" }
+
+// Run optimizes the synthetic method corpus.
+func (b *Bloat) Run(env *Env) {
+	r := env.Rand()
+	newCFGNodes := env.ListSite("bloat/FlowGraph.nodes", collections.LinkedListID)
+	newWorklist := env.ListSite("bloat/DataFlow.worklist", collections.LinkedListID)
+	newDefUse := env.SetSite("bloat/Var.defUse", collections.HashSetID)
+
+	// The optimizer keeps the def-use chains of recently processed
+	// methods alive (its interprocedural summaries); the rolling window
+	// is what shows up in the peak-memory column. It grows over the run
+	// so the adapted steady state sets the heap peak.
+	const retainedMethods = 300
+	var retained []collections.Set[int]
+	retainCap := func(m int) int { return 6 * retainedMethods * (m + 1) / b.methods }
+
+	checkpointEvery := b.methods/20 + 1
+	for m := 0; m < b.methods; m++ {
+		nBlocks := b.minBlocks + r.Intn(b.maxBlocks-b.minBlocks+1)
+		nodes := newCFGNodes()
+		for i := 0; i < nBlocks; i++ {
+			nodes.Add(i * 3)
+		}
+		// Dataflow passes: iterate the node list repeatedly and do
+		// positional accesses — quadratic misery on a LinkedList.
+		for p := 0; p < b.passes; p++ {
+			nodes.ForEach(func(v int) bool { env.Sink += v & 1; return true })
+			for q := 0; q < 25; q++ {
+				env.Sink += nodes.Get(r.Intn(nodes.Len())) & 1
+			}
+			if nodes.Contains(r.Intn(nBlocks * 3)) {
+				env.Sink++
+			}
+		}
+		// Worklist algorithm: append and positional removal from front.
+		wl := newWorklist()
+		for i := 0; i < nBlocks/2; i++ {
+			wl.Add(i)
+		}
+		for wl.Len() > 0 {
+			env.Sink += wl.RemoveAt(0) & 1
+		}
+		// Def-use chains: several small sets per method with membership
+		// probes — sizes range widely across variables.
+		for v := 0; v < 6; v++ {
+			du := newDefUse()
+			uses := 2 + r.Intn(36)
+			for u := 0; u < uses; u++ {
+				du.Add(r.Intn(nBlocks))
+			}
+			for q := 0; q < 10; q++ {
+				if du.Contains(r.Intn(nBlocks)) {
+					env.Sink++
+				}
+			}
+			retained = append(retained, du)
+		}
+		if limit := max(6, retainCap(m)); len(retained) > limit {
+			drop := len(retained) - limit
+			copy(retained, retained[drop:])
+			for i := len(retained) - drop; i < len(retained); i++ {
+				retained[i] = nil
+			}
+			retained = retained[:len(retained)-drop]
+		}
+		if m%checkpointEvery == 0 {
+			env.Checkpoint()
+		}
+	}
+}

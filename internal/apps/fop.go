@@ -1,0 +1,85 @@
+package apps
+
+import "repro/internal/collections"
+
+// Fop substitutes the DaCapo fop benchmark (the Apache FOP XSL-FO to PDF
+// formatter): a formatting-object tree whose nodes hold child lists of
+// widely ranging sizes, exposed to lookup traffic during layout resolution.
+// The paper reports AL → AdaptiveList under both rules, with improvements
+// that are mostly not statistically significant (Table 5) — fop is the
+// "little to gain, nothing to lose" case.
+type Fop struct {
+	pages          int
+	blocksPerPage  int
+	minRun, maxRun int
+}
+
+// NewFop returns the fop substitute at the given workload scale.
+func NewFop(scale float64) *Fop {
+	return &Fop{
+		pages:         scaled(120, scale),
+		blocksPerPage: 25,
+		minRun:        2,
+		maxRun:        280,
+	}
+}
+
+// Name returns the DaCapo benchmark name.
+func (f *Fop) Name() string { return "fop" }
+
+// Run formats the synthetic document.
+func (f *Fop) Run(env *Env) {
+	r := env.Rand()
+	newChildren := env.ListSite("fop/FONode.children", collections.ArrayListID)
+	newInlineRuns := env.ListSite("fop/LineArea.inlines", collections.ArrayListID)
+
+	// The formatter retains the area tree of the last few pages while
+	// rendering (FOP keeps page sequences alive until flushed).
+	const retainedPages = 20
+	var tree [][]collections.List[int]
+
+	checkpointEvery := f.pages/20 + 1
+	for page := 0; page < f.pages; page++ {
+		var pageLists []collections.List[int]
+		for block := 0; block < f.blocksPerPage; block++ {
+			// Child lists range from tiny spans to large paragraphs —
+			// the size spread that admits the adaptive list.
+			n := f.minRun + r.Intn(f.maxRun-f.minRun+1)
+			children := newChildren()
+			for i := 0; i < n; i++ {
+				children.Add(i * 7)
+			}
+			// Layout resolution probes children for reference targets —
+			// roughly one probe per child.
+			probes := 5 + n
+			for q := 0; q < probes; q++ {
+				if children.Contains(r.Intn(n*7 + 1)) {
+					env.Sink++
+				}
+			}
+			children.ForEach(func(v int) bool { env.Sink += v & 1; return true })
+			pageLists = append(pageLists, children)
+
+			// Inline runs: short-lived small lists per line.
+			lines := 1 + n/20
+			for l := 0; l < lines; l++ {
+				runs := newInlineRuns()
+				k := 2 + r.Intn(10)
+				for i := 0; i < k; i++ {
+					runs.Add(i)
+				}
+				if runs.Contains(r.Intn(12)) {
+					env.Sink++
+				}
+			}
+		}
+		tree = append(tree, pageLists)
+		if len(tree) > retainedPages {
+			tree[0] = nil
+			tree = tree[1:]
+		}
+		if page%checkpointEvery == 0 {
+			env.Checkpoint()
+		}
+	}
+}

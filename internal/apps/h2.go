@@ -1,0 +1,121 @@
+package apps
+
+import "repro/internal/collections"
+
+// H2 substitutes the DaCapo h2 benchmark (the H2 in-memory SQL database).
+// The paper singles out its IndexCursor allocation site, which instantiates
+// over a million short-lived row-id lists in seconds — the case that defeats
+// naive instance-level adaptation (half the instances paid a transition for
+// nothing, 12% slowdown). The reproduced pathology: an extreme rate of
+// short-lived lists of widely ranging sizes under lookup load, plus small
+// long-lived lock sets. The paper reports AL → AdaptiveList under Rtime and
+// HS → ArraySet under Ralloc (Table 6).
+type H2 struct {
+	rows     int
+	queries  int
+	sessions int
+}
+
+// NewH2 returns the h2 substitute at the given workload scale.
+func NewH2(scale float64) *H2 {
+	return &H2{
+		rows:     scaled(20000, scale),
+		queries:  scaled(4000, scale),
+		sessions: scaled(24, scale),
+	}
+}
+
+// Name returns the DaCapo benchmark name.
+func (h *H2) Name() string { return "h2" }
+
+// Run executes the synthetic query load.
+func (h *H2) Run(env *Env) {
+	r := env.Rand()
+	newCursorRows := env.ListSite("h2/IndexCursor.rows", collections.ArrayListID)
+	newUndoLog := env.ListSite("h2/UndoLog.entries", collections.ArrayListID)
+	newLockSet := env.SetSite("h2/Session.locks", collections.HashSetID)
+
+	// Per-session lock sets: tiny, probed on every query. Sessions
+	// reconnect periodically, so the sets churn (which is what lets the
+	// allocation context observe finished instances and adapt the site).
+	locks := make([]collections.Set[int], h.sessions)
+	refreshLocks := func() {
+		for i := range locks {
+			s := newLockSet()
+			n := 2 + r.Intn(8)
+			for l := 0; l < n; l++ {
+				s.Add(r.Intn(64))
+			}
+			locks[i] = s
+		}
+	}
+	refreshLocks()
+	reconnectEvery := h.queries/40 + 1
+
+	// The database keeps a result cache of recent cursors — the retained
+	// window behind the peak-memory measurements. The cache warms up over
+	// the run (as a real cache fills), so the late, adapted phase is what
+	// sets the heap peak.
+	const cachedCursors = 2000
+	cache := make([]collections.List[int], 0, cachedCursors)
+	cacheCap := func(q int) int { return cachedCursors * (q + 1) / h.queries }
+
+	checkpointEvery := h.queries/25 + 1
+	for q := 0; q < h.queries; q++ {
+		if q > 0 && q%reconnectEvery == 0 {
+			refreshLocks()
+		}
+		session := q % h.sessions
+		// Lock check.
+		if locks[session].Contains(r.Intn(64)) {
+			env.Sink++
+		}
+		// Index scan: a short-lived row-id list. Most scans match few
+		// rows; some table scans match many — the wide size range.
+		var matched int
+		if r.Intn(10) == 0 {
+			matched = 100 + r.Intn(200) // table scan
+		} else {
+			matched = 2 + r.Intn(30) // index hit
+		}
+		rows := newCursorRows()
+		base := r.Intn(h.rows)
+		for i := 0; i < matched; i++ {
+			rows.Add((base + i*17) % h.rows)
+		}
+		// Join probing: the hot lookup loop over the cursor rows —
+		// several probes per matched row, as a nested-loop join does.
+		probes := 10 + matched*3
+		for p := 0; p < probes; p++ {
+			if rows.Contains((base + p*13) % h.rows) {
+				env.Sink++
+			}
+		}
+		// Write queries append an undo-log buffer: it grows past the
+		// adaptive threshold and is flushed (iterated) once, with no
+		// lookups ever — the short-lived-instance pattern of Section 2
+		// that makes hardwired instance-level adaptation pay for
+		// transitions that never amortize. The allocation-site analysis
+		// correctly keeps this site on ArrayList.
+		{
+			undo := newUndoLog()
+			entries := 90 + r.Intn(90)
+			for e := 0; e < entries; e++ {
+				undo.Add(q*31 + e)
+			}
+			flushed := 0
+			undo.ForEach(func(v int) bool { flushed += v & 1; return true })
+			env.Sink += flushed & 1
+		}
+
+		for len(cache) >= max(1, cacheCap(q)) {
+			copy(cache, cache[1:])
+			cache[len(cache)-1] = nil
+			cache = cache[:len(cache)-1]
+		}
+		cache = append(cache, rows)
+		if q%checkpointEvery == 0 {
+			env.Checkpoint()
+		}
+	}
+}

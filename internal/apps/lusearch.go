@@ -1,0 +1,113 @@
+package apps
+
+import "repro/internal/collections"
+
+// Lusearch substitutes the DaCapo lusearch benchmark (Lucene text search):
+// keyword queries over an inverted index. Its reported pathology is that
+// most HashMap instances hold fewer than 20 entries — per-query score maps
+// and small term maps — created by the thousand. A minority of queries
+// (broad terms) build large, lookup-hot score maps, which is what keeps the
+// pure array map from being viable. The paper reports HM → OpenHashMap
+// under Rtime and HM → AdaptiveMap under Ralloc, and the largest Rtime win
+// of Table 5 (~15%).
+type Lusearch struct {
+	docs    int
+	terms   int
+	queries int
+}
+
+// NewLusearch returns the lusearch substitute at the given workload scale.
+func NewLusearch(scale float64) *Lusearch {
+	return &Lusearch{
+		docs:    scaled(4000, scale),
+		terms:   scaled(600, scale),
+		queries: scaled(2500, scale),
+	}
+}
+
+// Name returns the DaCapo benchmark name.
+func (l *Lusearch) Name() string { return "lusearch" }
+
+// Run indexes the corpus and executes the query load.
+func (l *Lusearch) Run(env *Env) {
+	r := env.Rand()
+	newScoreMap := env.MapSite("lusearch/Scorer.scores", collections.HashMapID)
+	newHitMap := env.MapSite("lusearch/Collector.hits", collections.HashMapID)
+
+	// Inverted index: plain Go slices — the index itself is not a target
+	// allocation site; the per-query maps are.
+	postings := make([][]int, l.terms)
+	for t := range postings {
+		// Zipf-ish: a few broad terms match many documents.
+		var df int
+		if t%97 == 0 {
+			df = 200 + r.Intn(150)
+		} else {
+			df = 1 + r.Intn(12)
+		}
+		p := make([]int, df)
+		for i := range p {
+			p[i] = r.Intn(l.docs)
+		}
+		postings[t] = p
+	}
+
+	// Recently computed score maps stay in a query cache — the retained
+	// window behind the peak-memory measurements. It warms up over the
+	// run so the adapted steady state sets the heap peak.
+	const cachedQueries = 2000
+	cache := make([]collections.Map[int, int], 0, cachedQueries)
+	cacheCap := func(q int) int { return cachedQueries * (q + 1) / l.queries }
+
+	checkpointEvery := l.queries/25 + 1
+	for q := 0; q < l.queries; q++ {
+		// A query of 2-4 terms; mostly narrow, occasionally broad.
+		nTerms := 2 + r.Intn(3)
+		scores := newScoreMap()
+		for t := 0; t < nTerms; t++ {
+			var term int
+			if r.Intn(33) == 0 {
+				broadCount := l.terms/97 + 1
+				term = (r.Intn(broadCount) * 97) % l.terms // broad
+			} else {
+				term = r.Intn(l.terms)
+			}
+			for _, doc := range postings[term] {
+				if old, ok := scores.Get(doc); ok {
+					scores.Put(doc, old+1)
+				} else {
+					scores.Put(doc, 1)
+				}
+			}
+		}
+		// Ranking: lookup-heavy pass over candidate documents. Broad
+		// queries make this loop hot on large maps.
+		probes := 10 + scores.Len()
+		for p := 0; p < probes; p++ {
+			if v, ok := scores.Get(r.Intn(l.docs)); ok {
+				env.Sink += v
+			}
+		}
+		// Hit collection into a second small map. The traversal is
+		// complete: iteration order differs between variants, so an
+		// early-stopped scan would make results depend on the selected
+		// variant — the collection swap must stay semantically invisible.
+		hits := newHitMap()
+		scores.ForEach(func(doc, score int) bool {
+			if score > 1 {
+				hits.Put(doc, score)
+			}
+			return true
+		})
+		env.Sink += hits.Len()
+		for len(cache) >= max(1, cacheCap(q)) {
+			copy(cache, cache[1:])
+			cache[len(cache)-1] = nil
+			cache = cache[:len(cache)-1]
+		}
+		cache = append(cache, scores)
+		if q%checkpointEvery == 0 {
+			env.Checkpoint()
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package collections
+
+// DefaultMapThreshold is the array→openhash transition size for AdaptiveMap
+// (paper Table 1).
+const DefaultMapThreshold = 50
+
+// AdaptiveMap is the instance-level adaptive map (paper Table 1,
+// array→openhash): a memory-minimal ArrayMap below the threshold, an
+// OpenHashMap (fast preset) above it. The transition is instant: all
+// entries are reinserted into the freshly sized hash table.
+type AdaptiveMap[K comparable, V any] struct {
+	array     *ArrayMap[K, V]    // nil after the transition
+	hash      *OpenHashMap[K, V] // nil before the transition
+	threshold int
+}
+
+// NewAdaptiveMap returns an AdaptiveMap with the default threshold.
+func NewAdaptiveMap[K comparable, V any]() *AdaptiveMap[K, V] {
+	return NewAdaptiveMapThreshold[K, V](DefaultMapThreshold)
+}
+
+// NewAdaptiveMapThreshold returns an AdaptiveMap that transitions when its
+// size first exceeds threshold.
+func NewAdaptiveMapThreshold[K comparable, V any](threshold int) *AdaptiveMap[K, V] {
+	if threshold < 0 {
+		threshold = 0
+	}
+	return &AdaptiveMap[K, V]{array: NewArrayMap[K, V](), threshold: threshold}
+}
+
+// Transitioned reports whether the instance has switched to its hash form.
+func (m *AdaptiveMap[K, V]) Transitioned() bool { return m.hash != nil }
+
+func (m *AdaptiveMap[K, V]) maybeTransition() {
+	if m.hash != nil || m.array.Len() <= m.threshold {
+		return
+	}
+	h := NewOpenHashMapPreset[K, V](OpenFast, 2*m.array.Len())
+	keys, vals := m.array.Pairs()
+	for i, k := range keys {
+		h.Put(k, vals[i])
+	}
+	m.hash = h
+	m.array = nil
+}
+
+// Put associates k with v, returning the previous value if present.
+func (m *AdaptiveMap[K, V]) Put(k K, v V) (V, bool) {
+	if m.hash != nil {
+		return m.hash.Put(k, v)
+	}
+	old, present := m.array.Put(k, v)
+	m.maybeTransition()
+	return old, present
+}
+
+// Get returns the value for k and whether it was present.
+func (m *AdaptiveMap[K, V]) Get(k K) (V, bool) {
+	if m.hash != nil {
+		return m.hash.Get(k)
+	}
+	return m.array.Get(k)
+}
+
+// Remove deletes the entry for k.
+func (m *AdaptiveMap[K, V]) Remove(k K) (V, bool) {
+	if m.hash != nil {
+		return m.hash.Remove(k)
+	}
+	return m.array.Remove(k)
+}
+
+// ContainsKey reports whether k has an entry.
+func (m *AdaptiveMap[K, V]) ContainsKey(k K) bool {
+	if m.hash != nil {
+		return m.hash.ContainsKey(k)
+	}
+	return m.array.ContainsKey(k)
+}
+
+// Len returns the number of entries.
+func (m *AdaptiveMap[K, V]) Len() int {
+	if m.hash != nil {
+		return m.hash.Len()
+	}
+	return m.array.Len()
+}
+
+// Clear removes all entries and reverts to the array representation.
+func (m *AdaptiveMap[K, V]) Clear() {
+	m.array = NewArrayMap[K, V]()
+	m.hash = nil
+}
+
+// ForEach calls fn on each entry until fn returns false.
+func (m *AdaptiveMap[K, V]) ForEach(fn func(K, V) bool) {
+	if m.hash != nil {
+		m.hash.ForEach(fn)
+		return
+	}
+	m.array.ForEach(fn)
+}
+
+// FootprintBytes estimates the active representation.
+func (m *AdaptiveMap[K, V]) FootprintBytes() int {
+	if m.hash != nil {
+		return structBase + m.hash.FootprintBytes()
+	}
+	return structBase + m.array.FootprintBytes()
+}

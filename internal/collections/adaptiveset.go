@@ -1,0 +1,102 @@
+package collections
+
+// DefaultSetThreshold is the array→openhash transition size for AdaptiveSet
+// (paper Table 1).
+const DefaultSetThreshold = 40
+
+// AdaptiveSet is the instance-level adaptive set (paper Table 1,
+// array→openhash): a memory-minimal ArraySet below the threshold, an
+// OpenHashSet (fast preset, matching the paper's NLP/Google → Koloboke
+// transition) above it. The transition is instant: all elements are
+// reinserted into the freshly sized hash table.
+type AdaptiveSet[T comparable] struct {
+	array     *ArraySet[T]    // nil after the transition
+	hash      *OpenHashSet[T] // nil before the transition
+	threshold int
+}
+
+// NewAdaptiveSet returns an AdaptiveSet with the default threshold.
+func NewAdaptiveSet[T comparable]() *AdaptiveSet[T] {
+	return NewAdaptiveSetThreshold[T](DefaultSetThreshold)
+}
+
+// NewAdaptiveSetThreshold returns an AdaptiveSet that transitions when its
+// size first exceeds threshold.
+func NewAdaptiveSetThreshold[T comparable](threshold int) *AdaptiveSet[T] {
+	if threshold < 0 {
+		threshold = 0
+	}
+	return &AdaptiveSet[T]{array: NewArraySet[T](), threshold: threshold}
+}
+
+// Transitioned reports whether the instance has switched to its hash form.
+func (s *AdaptiveSet[T]) Transitioned() bool { return s.hash != nil }
+
+func (s *AdaptiveSet[T]) maybeTransition() {
+	if s.hash != nil || s.array.Len() <= s.threshold {
+		return
+	}
+	h := NewOpenHashSetPreset[T](OpenFast, 2*s.array.Len())
+	for _, v := range s.array.Elems() {
+		h.Add(v)
+	}
+	s.hash = h
+	s.array = nil
+}
+
+// Add inserts v, reporting whether the set changed.
+func (s *AdaptiveSet[T]) Add(v T) bool {
+	if s.hash != nil {
+		return s.hash.Add(v)
+	}
+	changed := s.array.Add(v)
+	s.maybeTransition()
+	return changed
+}
+
+// Remove deletes v, reporting whether the set changed.
+func (s *AdaptiveSet[T]) Remove(v T) bool {
+	if s.hash != nil {
+		return s.hash.Remove(v)
+	}
+	return s.array.Remove(v)
+}
+
+// Contains reports whether v is in the set.
+func (s *AdaptiveSet[T]) Contains(v T) bool {
+	if s.hash != nil {
+		return s.hash.Contains(v)
+	}
+	return s.array.Contains(v)
+}
+
+// Len returns the number of elements.
+func (s *AdaptiveSet[T]) Len() int {
+	if s.hash != nil {
+		return s.hash.Len()
+	}
+	return s.array.Len()
+}
+
+// Clear removes all elements and reverts to the array representation.
+func (s *AdaptiveSet[T]) Clear() {
+	s.array = NewArraySet[T]()
+	s.hash = nil
+}
+
+// ForEach calls fn on each element until fn returns false.
+func (s *AdaptiveSet[T]) ForEach(fn func(T) bool) {
+	if s.hash != nil {
+		s.hash.ForEach(fn)
+		return
+	}
+	s.array.ForEach(fn)
+}
+
+// FootprintBytes estimates the active representation.
+func (s *AdaptiveSet[T]) FootprintBytes() int {
+	if s.hash != nil {
+		return structBase + s.hash.FootprintBytes()
+	}
+	return structBase + s.array.FootprintBytes()
+}

@@ -1,0 +1,271 @@
+package collections
+
+import "cmp"
+
+// AVLTreeMap is a height-balanced binary search tree map — the analogue of
+// JDK TreeMap (which uses a red-black tree; AVL gives the same asymptotics
+// with slightly tighter balance). Iteration and Range run in ascending key
+// order; all point operations are O(log n); every entry is a separate node
+// allocation, putting its footprint near the chained hash map's.
+type AVLTreeMap[K cmp.Ordered, V any] struct {
+	root *avlNode[K, V]
+	size int
+}
+
+type avlNode[K cmp.Ordered, V any] struct {
+	key         K
+	val         V
+	left, right *avlNode[K, V]
+	height      int8
+}
+
+// NewAVLTreeMap returns an empty AVLTreeMap.
+func NewAVLTreeMap[K cmp.Ordered, V any]() *AVLTreeMap[K, V] {
+	return &AVLTreeMap[K, V]{}
+}
+
+func height[K cmp.Ordered, V any](n *avlNode[K, V]) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix[K cmp.Ordered, V any](n *avlNode[K, V]) {
+	lh, rh := height(n.left), height(n.right)
+	if lh > rh {
+		n.height = lh + 1
+	} else {
+		n.height = rh + 1
+	}
+}
+
+func balanceOf[K cmp.Ordered, V any](n *avlNode[K, V]) int8 {
+	return height(n.left) - height(n.right)
+}
+
+func rotateRight[K cmp.Ordered, V any](y *avlNode[K, V]) *avlNode[K, V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft[K cmp.Ordered, V any](x *avlNode[K, V]) *avlNode[K, V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+// rebalance restores the AVL invariant at n after an insert or delete below.
+func rebalance[K cmp.Ordered, V any](n *avlNode[K, V]) *avlNode[K, V] {
+	fix(n)
+	switch b := balanceOf(n); {
+	case b > 1:
+		if balanceOf(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case b < -1:
+		if balanceOf(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func (m *AVLTreeMap[K, V]) insert(n *avlNode[K, V], k K, v V) (*avlNode[K, V], V, bool) {
+	if n == nil {
+		m.size++
+		var zero V
+		return &avlNode[K, V]{key: k, val: v, height: 1}, zero, false
+	}
+	var old V
+	var present bool
+	switch {
+	case k < n.key:
+		n.left, old, present = m.insert(n.left, k, v)
+	case k > n.key:
+		n.right, old, present = m.insert(n.right, k, v)
+	default:
+		old, present = n.val, true
+		n.val = v
+		return n, old, present
+	}
+	return rebalance(n), old, present
+}
+
+// Put associates k with v, returning the previous value if present.
+func (m *AVLTreeMap[K, V]) Put(k K, v V) (V, bool) {
+	var old V
+	var present bool
+	m.root, old, present = m.insert(m.root, k, v)
+	return old, present
+}
+
+// Get returns the value for k and whether it was present (O(log n)).
+func (m *AVLTreeMap[K, V]) Get(k K) (V, bool) {
+	n := m.root
+	for n != nil {
+		switch {
+		case k < n.key:
+			n = n.left
+		case k > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func (m *AVLTreeMap[K, V]) remove(n *avlNode[K, V], k K) (*avlNode[K, V], V, bool) {
+	var old V
+	if n == nil {
+		return nil, old, false
+	}
+	var removed bool
+	switch {
+	case k < n.key:
+		n.left, old, removed = m.remove(n.left, k)
+	case k > n.key:
+		n.right, old, removed = m.remove(n.right, k)
+	default:
+		old, removed = n.val, true
+		m.size--
+		switch {
+		case n.left == nil:
+			return n.right, old, true
+		case n.right == nil:
+			return n.left, old, true
+		default:
+			// Replace with the in-order successor, then delete it from
+			// the right subtree (size was already decremented; the
+			// recursive removal must not decrement again, so do it
+			// manually).
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.key, n.val = succ.key, succ.val
+			var dummy V
+			var ok bool
+			m.size++ // compensate: the successor removal decrements
+			n.right, dummy, ok = m.remove(n.right, succ.key)
+			_, _ = dummy, ok
+		}
+	}
+	if !removed {
+		return n, old, false
+	}
+	return rebalance(n), old, true
+}
+
+// Remove deletes the entry for k.
+func (m *AVLTreeMap[K, V]) Remove(k K) (V, bool) {
+	var old V
+	var removed bool
+	m.root, old, removed = m.remove(m.root, k)
+	return old, removed
+}
+
+// ContainsKey reports whether k has an entry.
+func (m *AVLTreeMap[K, V]) ContainsKey(k K) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Len returns the number of entries.
+func (m *AVLTreeMap[K, V]) Len() int { return m.size }
+
+// Clear removes all entries.
+func (m *AVLTreeMap[K, V]) Clear() {
+	m.root = nil
+	m.size = 0
+}
+
+// ForEach calls fn on each entry in ascending key order until fn returns
+// false.
+func (m *AVLTreeMap[K, V]) ForEach(fn func(K, V) bool) {
+	m.walk(m.root, fn)
+}
+
+func (m *AVLTreeMap[K, V]) walk(n *avlNode[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	return m.walk(n.left, fn) && fn(n.key, n.val) && m.walk(n.right, fn)
+}
+
+// MinKey returns the smallest key, if any.
+func (m *AVLTreeMap[K, V]) MinKey() (K, bool) {
+	if m.root == nil {
+		var zero K
+		return zero, false
+	}
+	n := m.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// MaxKey returns the largest key, if any.
+func (m *AVLTreeMap[K, V]) MaxKey() (K, bool) {
+	if m.root == nil {
+		var zero K
+		return zero, false
+	}
+	n := m.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, true
+}
+
+// Range calls fn on each entry with key in [from, to] ascending until fn
+// returns false. It prunes subtrees outside the interval, costing
+// O(log n + matches).
+func (m *AVLTreeMap[K, V]) Range(from, to K, fn func(K, V) bool) {
+	m.rangeWalk(m.root, from, to, fn)
+}
+
+func (m *AVLTreeMap[K, V]) rangeWalk(n *avlNode[K, V], from, to K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key > from {
+		if !m.rangeWalk(n.left, from, to, fn) {
+			return false
+		}
+	}
+	if n.key >= from && n.key <= to {
+		if !fn(n.key, n.val) {
+			return false
+		}
+	}
+	if n.key < to {
+		if !m.rangeWalk(n.right, from, to, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// heightOf exposes the tree height for balance tests.
+func (m *AVLTreeMap[K, V]) heightOf() int { return int(height(m.root)) }
+
+// FootprintBytes estimates one node per entry.
+func (m *AVLTreeMap[K, V]) FootprintBytes() int {
+	var zk K
+	var zv V
+	node := structBase + sizeOf(zk) + sizeOf(zv) + 2*wordBytes + 8
+	return structBase + m.size*node
+}

@@ -1,0 +1,56 @@
+package collections
+
+import "cmp"
+
+// AVLTreeSet is the sorted set over AVLTreeMap — the analogue of JDK
+// TreeSet (which wraps TreeMap the same way).
+type AVLTreeSet[T cmp.Ordered] struct {
+	m *AVLTreeMap[T, struct{}]
+}
+
+// NewAVLTreeSet returns an empty AVLTreeSet.
+func NewAVLTreeSet[T cmp.Ordered]() *AVLTreeSet[T] {
+	return &AVLTreeSet[T]{m: NewAVLTreeMap[T, struct{}]()}
+}
+
+// Add inserts v, reporting whether the set changed.
+func (s *AVLTreeSet[T]) Add(v T) bool {
+	_, present := s.m.Put(v, struct{}{})
+	return !present
+}
+
+// Remove deletes v, reporting whether the set changed.
+func (s *AVLTreeSet[T]) Remove(v T) bool {
+	_, present := s.m.Remove(v)
+	return present
+}
+
+// Contains reports whether v is in the set (O(log n)).
+func (s *AVLTreeSet[T]) Contains(v T) bool { return s.m.ContainsKey(v) }
+
+// Len returns the number of elements.
+func (s *AVLTreeSet[T]) Len() int { return s.m.Len() }
+
+// Clear removes all elements.
+func (s *AVLTreeSet[T]) Clear() { s.m.Clear() }
+
+// ForEach calls fn on each element in ascending order until fn returns
+// false.
+func (s *AVLTreeSet[T]) ForEach(fn func(T) bool) {
+	s.m.ForEach(func(k T, _ struct{}) bool { return fn(k) })
+}
+
+// Min returns the smallest element, if any.
+func (s *AVLTreeSet[T]) Min() (T, bool) { return s.m.MinKey() }
+
+// Max returns the largest element, if any.
+func (s *AVLTreeSet[T]) Max() (T, bool) { return s.m.MaxKey() }
+
+// Range calls fn on each element in [from, to] ascending until fn returns
+// false.
+func (s *AVLTreeSet[T]) Range(from, to T, fn func(T) bool) {
+	s.m.Range(from, to, func(k T, _ struct{}) bool { return fn(k) })
+}
+
+// FootprintBytes estimates the backing tree.
+func (s *AVLTreeSet[T]) FootprintBytes() int { return structBase + s.m.FootprintBytes() }

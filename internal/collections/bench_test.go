@@ -1,0 +1,220 @@
+package collections
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Native testing.B form of the Table 3 factorial plan: every variant ×
+// critical operation at a representative size. cmd/perfmodel runs the same
+// measurements programmatically over the full size sweep.
+
+const benchSize = 500
+
+func benchKeys(n int) ([]int, []int) {
+	r := rand.New(rand.NewSource(1))
+	keys := r.Perm(n * 2)[:n]
+	probes := make([]int, 256)
+	for i := range probes {
+		probes[i] = r.Intn(n * 2)
+	}
+	return keys, probes
+}
+
+func BenchmarkListPopulate(b *testing.B) {
+	keys, _ := benchKeys(benchSize)
+	for _, v := range ListVariants[int]() {
+		v := v
+		b.Run(string(v.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l := v.New(0)
+				for _, k := range keys {
+					l.Add(k)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkListContains(b *testing.B) {
+	keys, probes := benchKeys(benchSize)
+	for _, v := range ListVariants[int]() {
+		v := v
+		b.Run(string(v.ID), func(b *testing.B) {
+			l := v.New(0)
+			for _, k := range keys {
+				l.Add(k)
+			}
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				if l.Contains(probes[i%len(probes)]) {
+					sink++
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkListIterate(b *testing.B) {
+	keys, _ := benchKeys(benchSize)
+	for _, v := range ListVariants[int]() {
+		v := v
+		b.Run(string(v.ID), func(b *testing.B) {
+			l := v.New(0)
+			for _, k := range keys {
+				l.Add(k)
+			}
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				l.ForEach(func(x int) bool { sink += x; return true })
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkListMiddle(b *testing.B) {
+	keys, _ := benchKeys(benchSize)
+	for _, v := range ListVariants[int]() {
+		v := v
+		b.Run(string(v.ID), func(b *testing.B) {
+			l := v.New(0)
+			for _, k := range keys {
+				l.Add(k)
+			}
+			mid := l.Len() / 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Insert(mid, -1)
+				l.RemoveAt(mid)
+			}
+		})
+	}
+}
+
+func BenchmarkSetPopulate(b *testing.B) {
+	keys, _ := benchKeys(benchSize)
+	variants := append(SetVariants[int](), SortedSetVariants[int]()...)
+	variants = append(variants, ConcurrentSetVariants[int]()...)
+	for _, v := range variants {
+		v := v
+		b.Run(string(v.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := v.New(0)
+				for _, k := range keys {
+					s.Add(k)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSetContains(b *testing.B) {
+	keys, probes := benchKeys(benchSize)
+	variants := append(SetVariants[int](), SortedSetVariants[int]()...)
+	variants = append(variants, ConcurrentSetVariants[int]()...)
+	for _, v := range variants {
+		v := v
+		b.Run(string(v.ID), func(b *testing.B) {
+			s := v.New(0)
+			for _, k := range keys {
+				s.Add(k)
+			}
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				if s.Contains(probes[i%len(probes)]) {
+					sink++
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkMapPut(b *testing.B) {
+	keys, _ := benchKeys(benchSize)
+	variants := append(MapVariants[int, int](), SortedMapVariants[int, int]()...)
+	variants = append(variants, ConcurrentMapVariants[int, int]()...)
+	for _, v := range variants {
+		v := v
+		b.Run(string(v.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := v.New(0)
+				for _, k := range keys {
+					m.Put(k, k)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMapGet(b *testing.B) {
+	keys, probes := benchKeys(benchSize)
+	variants := append(MapVariants[int, int](), SortedMapVariants[int, int]()...)
+	variants = append(variants, ConcurrentMapVariants[int, int]()...)
+	for _, v := range variants {
+		v := v
+		b.Run(string(v.ID), func(b *testing.B) {
+			m := v.New(0)
+			for _, k := range keys {
+				m.Put(k, k)
+			}
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				if x, ok := m.Get(probes[i%len(probes)]); ok {
+					sink += x
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAdaptiveTransition isolates the instant-transition cost the
+// Figure 3 analysis amortizes against lookups.
+func BenchmarkAdaptiveTransition(b *testing.B) {
+	b.Run("set", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewAdaptiveSet[int]()
+			for k := 0; k <= DefaultSetThreshold; k++ {
+				s.Add(k)
+			}
+			if !s.Transitioned() {
+				b.Fatal("no transition")
+			}
+		}
+	})
+	b.Run("list", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l := NewAdaptiveList[int]()
+			for k := 0; k <= DefaultListThreshold; k++ {
+				l.Add(k)
+			}
+			if !l.Transitioned() {
+				b.Fatal("no transition")
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewAdaptiveMap[int, int]()
+			for k := 0; k <= DefaultMapThreshold; k++ {
+				m.Put(k, k)
+			}
+			if !m.Transitioned() {
+				b.Fatal("no transition")
+			}
+		}
+	})
+}

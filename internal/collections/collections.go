@@ -1,0 +1,106 @@
+// Package collections is the collection-library substrate of the
+// CollectionSwitch reproduction. It provides generic List, Set and Map
+// abstractions together with the full space of implementation variants the
+// paper benchmarks: array-backed, linked, chained-hash, open-addressing hash
+// (in three memory/speed presets mirroring Koloboke, Eclipse Collections and
+// fastutil), compact dense-hash, and the adaptive variants that switch their
+// underlying representation when the collection grows past a threshold.
+//
+// Every variant implements the corresponding abstraction interface plus
+// Sizer, so the framework can reason about memory footprint, and is
+// registered in the variant registry (see variants.go) under a stable
+// VariantID used by the performance models and the selection engine.
+package collections
+
+// List is the list abstraction: an ordered sequence with positional access.
+// Type parameter T must be comparable so that search operations (Contains,
+// IndexOf, Remove) are available on every variant.
+type List[T comparable] interface {
+	// Add appends v to the end of the list.
+	Add(v T)
+	// Insert places v at index i, shifting subsequent elements right.
+	// It panics if i is out of range [0, Len()].
+	Insert(i int, v T)
+	// Get returns the element at index i. It panics if i is out of range.
+	Get(i int) T
+	// Set replaces the element at index i and returns the previous value.
+	// It panics if i is out of range.
+	Set(i int, v T) T
+	// RemoveAt removes and returns the element at index i, shifting
+	// subsequent elements left. It panics if i is out of range.
+	RemoveAt(i int) T
+	// Remove deletes the first occurrence of v, reporting whether an
+	// element was removed.
+	Remove(v T) bool
+	// Contains reports whether v occurs in the list.
+	Contains(v T) bool
+	// IndexOf returns the index of the first occurrence of v, or -1.
+	IndexOf(v T) int
+	// Len returns the number of elements.
+	Len() int
+	// Clear removes all elements.
+	Clear()
+	// ForEach calls fn on each element in order until fn returns false.
+	ForEach(fn func(T) bool)
+}
+
+// Set is the set abstraction: a group of unique elements.
+type Set[T comparable] interface {
+	// Add inserts v, reporting whether the set changed (v was absent).
+	Add(v T) bool
+	// Remove deletes v, reporting whether the set changed (v was present).
+	Remove(v T) bool
+	// Contains reports whether v is in the set.
+	Contains(v T) bool
+	// Len returns the number of elements.
+	Len() int
+	// Clear removes all elements.
+	Clear()
+	// ForEach calls fn on each element until fn returns false. Iteration
+	// order is implementation-defined unless documented otherwise.
+	ForEach(fn func(T) bool)
+}
+
+// Map is the map abstraction: an association of unique keys to values.
+type Map[K comparable, V any] interface {
+	// Put associates k with v, returning the previous value and whether
+	// one was present.
+	Put(k K, v V) (V, bool)
+	// Get returns the value for k and whether it was present.
+	Get(k K) (V, bool)
+	// Remove deletes the entry for k, returning the removed value and
+	// whether one was present.
+	Remove(k K) (V, bool)
+	// ContainsKey reports whether k has an entry.
+	ContainsKey(k K) bool
+	// Len returns the number of entries.
+	Len() int
+	// Clear removes all entries.
+	Clear()
+	// ForEach calls fn on each entry until fn returns false. Iteration
+	// order is implementation-defined unless documented otherwise.
+	ForEach(fn func(K, V) bool)
+}
+
+// Sizer is implemented by every variant in this package. FootprintBytes
+// estimates the retained heap of the collection's internal structures
+// (excluding the elements' own referents) from the known layout of the
+// implementation. The estimates feed the footprint cost dimension of the
+// performance models and the Ralloc experiments.
+type Sizer interface {
+	FootprintBytes() int
+}
+
+// Adaptive is implemented by the adaptive variants (AdaptiveList,
+// AdaptiveSet, AdaptiveMap). Transitioned reports whether the instance has
+// switched from its small-size array representation to its large-size hash
+// representation.
+type Adaptive interface {
+	Transitioned() bool
+}
+
+const (
+	wordBytes   = 8  // pointer / int size on a 64-bit platform
+	sliceHeader = 24 // ptr + len + cap
+	structBase  = 16 // allocator overhead charged per heap object
+)

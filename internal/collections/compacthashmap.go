@@ -1,0 +1,196 @@
+package collections
+
+// CompactHashMap is a dense hash map: entries live packed in insertion order
+// in flat arrays, and a separate open-addressed table of int32 slots indexes
+// them by hash. It is the analogue of the paper's VLSI byte-serialized
+// CompactHashMap — the JVM trick there is eliminating per-entry object
+// headers; the equivalent saving in Go is that empty table slots cost 4
+// bytes instead of a full key/value slot, giving the smallest footprint of
+// the indexed maps at the price of one extra indirection per lookup.
+type CompactHashMap[K comparable, V any] struct {
+	h     hasher[K]
+	index []int32 // slot -> dense position; -1 empty, -2 tombstone
+	keys  []K     // dense, packed
+	vals  []V     // dense, packed
+	used  int     // occupied + tombstoned index slots
+}
+
+const (
+	compactEmpty     int32 = -1
+	compactTombstone int32 = -2
+)
+
+// NewCompactHashMap returns an empty CompactHashMap.
+func NewCompactHashMap[K comparable, V any]() *CompactHashMap[K, V] {
+	return NewCompactHashMapCap[K, V](0)
+}
+
+// NewCompactHashMapCap returns an empty CompactHashMap pre-sized for capHint
+// entries.
+func NewCompactHashMapCap[K comparable, V any](capHint int) *CompactHashMap[K, V] {
+	c := openHashMinCap
+	if capHint > 0 {
+		c = nextPow2(capHint*4/3 + 1)
+		if c < openHashMinCap {
+			c = openHashMinCap
+		}
+	}
+	m := &CompactHashMap[K, V]{h: newHasher[K](), index: make([]int32, c)}
+	for i := range m.index {
+		m.index[i] = compactEmpty
+	}
+	if capHint > 0 {
+		m.keys = make([]K, 0, capHint)
+		m.vals = make([]V, 0, capHint)
+	}
+	return m
+}
+
+// slotOf returns the index slot holding k, or -1 and an insertable slot.
+func (m *CompactHashMap[K, V]) slotOf(k K, hash uint64) (found, insert int) {
+	mask := uint64(len(m.index) - 1)
+	i := hash & mask
+	insert = -1
+	for {
+		switch d := m.index[i]; d {
+		case compactEmpty:
+			if insert < 0 {
+				insert = int(i)
+			}
+			return -1, insert
+		case compactTombstone:
+			if insert < 0 {
+				insert = int(i)
+			}
+		default:
+			if m.keys[d] == k {
+				return int(i), int(i)
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (m *CompactHashMap[K, V]) rehash(newCap int) {
+	m.index = make([]int32, newCap)
+	for i := range m.index {
+		m.index[i] = compactEmpty
+	}
+	m.used = len(m.keys)
+	mask := uint64(newCap - 1)
+	for d, k := range m.keys {
+		i := m.h.hash(k) & mask
+		for m.index[i] != compactEmpty {
+			i = (i + 1) & mask
+		}
+		m.index[i] = int32(d)
+	}
+}
+
+// Put associates k with v, returning the previous value if present.
+func (m *CompactHashMap[K, V]) Put(k K, v V) (V, bool) {
+	hash := m.h.hash(k)
+	found, insert := m.slotOf(k, hash)
+	if found >= 0 {
+		d := m.index[found]
+		old := m.vals[d]
+		m.vals[d] = v
+		return old, true
+	}
+	if (m.used+1)*4 > len(m.index)*3 {
+		newCap := len(m.index)
+		if (len(m.keys)+1)*4 > newCap*3 {
+			newCap *= 2
+		}
+		m.rehash(newCap)
+		_, insert = m.slotOf(k, hash)
+	}
+	if m.index[insert] == compactEmpty {
+		m.used++
+	}
+	m.index[insert] = int32(len(m.keys))
+	m.keys = append(m.keys, k)
+	m.vals = append(m.vals, v)
+	var zero V
+	return zero, false
+}
+
+// Get returns the value for k and whether it was present.
+func (m *CompactHashMap[K, V]) Get(k K) (V, bool) {
+	if found, _ := m.slotOf(k, m.h.hash(k)); found >= 0 {
+		return m.vals[m.index[found]], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Remove deletes the entry for k. The dense arrays stay packed by moving
+// the last entry into the vacated position and repointing its index slot.
+func (m *CompactHashMap[K, V]) Remove(k K) (V, bool) {
+	found, _ := m.slotOf(k, m.h.hash(k))
+	var zero V
+	if found < 0 {
+		return zero, false
+	}
+	d := m.index[found]
+	old := m.vals[d]
+	m.index[found] = compactTombstone
+	last := int32(len(m.keys) - 1)
+	if d != last {
+		movedKey := m.keys[last]
+		slot, _ := m.slotOf(movedKey, m.h.hash(movedKey))
+		m.keys[d] = movedKey
+		m.vals[d] = m.vals[last]
+		m.index[slot] = d
+	}
+	var zk K
+	m.keys[last] = zk
+	m.vals[last] = zero
+	m.keys = m.keys[:last]
+	m.vals = m.vals[:last]
+	return old, true
+}
+
+// ContainsKey reports whether k has an entry.
+func (m *CompactHashMap[K, V]) ContainsKey(k K) bool {
+	found, _ := m.slotOf(k, m.h.hash(k))
+	return found >= 0
+}
+
+// Len returns the number of entries.
+func (m *CompactHashMap[K, V]) Len() int { return len(m.keys) }
+
+// Clear removes all entries, retaining the index table.
+func (m *CompactHashMap[K, V]) Clear() {
+	for i := range m.index {
+		m.index[i] = compactEmpty
+	}
+	var zk K
+	var zv V
+	for i := range m.keys {
+		m.keys[i] = zk
+		m.vals[i] = zv
+	}
+	m.keys = m.keys[:0]
+	m.vals = m.vals[:0]
+	m.used = 0
+}
+
+// ForEach calls fn on each entry in insertion-modified dense order until fn
+// returns false.
+func (m *CompactHashMap[K, V]) ForEach(fn func(K, V) bool) {
+	for i, k := range m.keys {
+		if !fn(k, m.vals[i]) {
+			return
+		}
+	}
+}
+
+// FootprintBytes estimates the int32 index table plus the packed entry
+// arrays.
+func (m *CompactHashMap[K, V]) FootprintBytes() int {
+	var zk K
+	var zv V
+	return structBase + 3*sliceHeader + len(m.index)*4 +
+		cap(m.keys)*sizeOf(zk) + cap(m.vals)*sizeOf(zv)
+}

@@ -1,0 +1,255 @@
+package collections
+
+import "sync"
+
+// Concurrency-safe variants (the second half of the paper's Section 7
+// future work). SyncSet and SyncMap guard an open-addressing table with a
+// read-write mutex — the analogue of Collections.synchronizedSet/Map.
+// ShardedMap stripes the key space over independently locked shards, the
+// analogue of ConcurrentHashMap's lock striping; under parallel load it
+// trades a little per-op overhead for much lower contention.
+
+// SyncSet is a mutex-guarded set, safe for concurrent use.
+type SyncSet[T comparable] struct {
+	mu    sync.RWMutex
+	inner *OpenHashSet[T]
+}
+
+// NewSyncSet returns an empty SyncSet pre-sized for capHint elements.
+func NewSyncSet[T comparable](capHint int) *SyncSet[T] {
+	return &SyncSet[T]{inner: NewOpenHashSetPreset[T](OpenBalanced, capHint)}
+}
+
+// Add inserts v, reporting whether the set changed.
+func (s *SyncSet[T]) Add(v T) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Add(v)
+}
+
+// Remove deletes v, reporting whether the set changed.
+func (s *SyncSet[T]) Remove(v T) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Remove(v)
+}
+
+// Contains reports whether v is in the set.
+func (s *SyncSet[T]) Contains(v T) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Contains(v)
+}
+
+// Len returns the number of elements.
+func (s *SyncSet[T]) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Len()
+}
+
+// Clear removes all elements.
+func (s *SyncSet[T]) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Clear()
+}
+
+// ForEach calls fn on each element under the read lock until fn returns
+// false. fn must not mutate the set.
+func (s *SyncSet[T]) ForEach(fn func(T) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.inner.ForEach(fn)
+}
+
+// FootprintBytes estimates the guarded table.
+func (s *SyncSet[T]) FootprintBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return structBase + s.inner.FootprintBytes()
+}
+
+// SyncMap is a mutex-guarded map, safe for concurrent use.
+type SyncMap[K comparable, V any] struct {
+	mu    sync.RWMutex
+	inner *OpenHashMap[K, V]
+}
+
+// NewSyncMap returns an empty SyncMap pre-sized for capHint entries.
+func NewSyncMap[K comparable, V any](capHint int) *SyncMap[K, V] {
+	return &SyncMap[K, V]{inner: NewOpenHashMapPreset[K, V](OpenBalanced, capHint)}
+}
+
+// Put associates k with v, returning the previous value if present.
+func (m *SyncMap[K, V]) Put(k K, v V) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Put(k, v)
+}
+
+// Get returns the value for k and whether it was present.
+func (m *SyncMap[K, V]) Get(k K) (V, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.inner.Get(k)
+}
+
+// Remove deletes the entry for k.
+func (m *SyncMap[K, V]) Remove(k K) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Remove(k)
+}
+
+// ContainsKey reports whether k has an entry.
+func (m *SyncMap[K, V]) ContainsKey(k K) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.inner.ContainsKey(k)
+}
+
+// Len returns the number of entries.
+func (m *SyncMap[K, V]) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.inner.Len()
+}
+
+// Clear removes all entries.
+func (m *SyncMap[K, V]) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inner.Clear()
+}
+
+// ForEach calls fn on each entry under the read lock until fn returns
+// false. fn must not mutate the map.
+func (m *SyncMap[K, V]) ForEach(fn func(K, V) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	m.inner.ForEach(fn)
+}
+
+// FootprintBytes estimates the guarded table.
+func (m *SyncMap[K, V]) FootprintBytes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return structBase + m.inner.FootprintBytes()
+}
+
+// shardedShards is the stripe count; a power of two so shard selection is a
+// mask of the key hash.
+const shardedShards = 16
+
+// ShardedMap stripes entries over independently locked shards — the
+// ConcurrentHashMap analogue. Len sums shard sizes without a global lock,
+// so it is only approximate under concurrent mutation (as in the JDK).
+type ShardedMap[K comparable, V any] struct {
+	h      hasher[K]
+	shards [shardedShards]struct {
+		mu sync.RWMutex
+		m  *OpenHashMap[K, V]
+	}
+}
+
+// NewShardedMap returns an empty ShardedMap pre-sized for capHint entries.
+func NewShardedMap[K comparable, V any](capHint int) *ShardedMap[K, V] {
+	sm := &ShardedMap[K, V]{h: newHasher[K]()}
+	per := capHint / shardedShards
+	for i := range sm.shards {
+		sm.shards[i].m = NewOpenHashMapPreset[K, V](OpenBalanced, per)
+	}
+	return sm
+}
+
+func (m *ShardedMap[K, V]) shardFor(k K) *struct {
+	mu sync.RWMutex
+	m  *OpenHashMap[K, V]
+} {
+	return &m.shards[m.h.hash(k)&(shardedShards-1)]
+}
+
+// Put associates k with v, returning the previous value if present.
+func (m *ShardedMap[K, V]) Put(k K, v V) (V, bool) {
+	s := m.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Put(k, v)
+}
+
+// Get returns the value for k and whether it was present.
+func (m *ShardedMap[K, V]) Get(k K) (V, bool) {
+	s := m.shardFor(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.Get(k)
+}
+
+// Remove deletes the entry for k.
+func (m *ShardedMap[K, V]) Remove(k K) (V, bool) {
+	s := m.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Remove(k)
+}
+
+// ContainsKey reports whether k has an entry.
+func (m *ShardedMap[K, V]) ContainsKey(k K) bool {
+	s := m.shardFor(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m.ContainsKey(k)
+}
+
+// Len returns the total entry count (approximate under concurrent writes).
+func (m *ShardedMap[K, V]) Len() int {
+	total := 0
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+		total += m.shards[i].m.Len()
+		m.shards[i].mu.RUnlock()
+	}
+	return total
+}
+
+// Clear removes all entries.
+func (m *ShardedMap[K, V]) Clear() {
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		m.shards[i].m.Clear()
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// ForEach calls fn on each entry, locking one shard at a time, until fn
+// returns false. Entries inserted or removed concurrently may or may not be
+// observed.
+func (m *ShardedMap[K, V]) ForEach(fn func(K, V) bool) {
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+		stop := false
+		m.shards[i].m.ForEach(func(k K, v V) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		m.shards[i].mu.RUnlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// FootprintBytes estimates all shard tables.
+func (m *ShardedMap[K, V]) FootprintBytes() int {
+	total := structBase
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+		total += m.shards[i].m.FootprintBytes()
+		m.shards[i].mu.RUnlock()
+	}
+	return total
+}

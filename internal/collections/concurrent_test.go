@@ -1,0 +1,174 @@
+package collections
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestConcurrentVariantsSequentialContract(t *testing.T) {
+	// The concurrent variants must satisfy the ordinary contracts when
+	// used sequentially.
+	t.Run("syncset", func(t *testing.T) {
+		f := func(script opScript) bool {
+			runSetScript(t, SyncSetID, NewSyncSet[int](0), script)
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for name, mk := range map[VariantID]func() Map[int, int]{
+		SyncMapID:    func() Map[int, int] { return NewSyncMap[int, int](0) },
+		ShardedMapID: func() Map[int, int] { return NewShardedMap[int, int](0) },
+	} {
+		mk := mk
+		t.Run(string(name), func(t *testing.T) {
+			f := func(script opScript) bool {
+				runMapScript(t, name, mk(), script)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSyncSetParallel(t *testing.T) {
+	s := NewSyncSet[int](0)
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := base*perG + i
+				s.Add(v)
+				if !s.Contains(v) {
+					t.Errorf("lost element %d", v)
+					return
+				}
+				if i%3 == 0 {
+					s.Remove(v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := 0
+	for i := 0; i < perG; i++ {
+		if i%3 != 0 {
+			want++
+		}
+	}
+	if got := s.Len(); got != want*goroutines {
+		t.Fatalf("Len = %d, want %d", got, want*goroutines)
+	}
+}
+
+func TestShardedMapParallel(t *testing.T) {
+	m := NewShardedMap[int, int](0)
+	const (
+		goroutines = 8
+		perG       = 3000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := base*perG + i
+				m.Put(k, k*2)
+				if v, ok := m.Get(k); !ok || v != k*2 {
+					t.Errorf("lost entry %d", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.Len(); got != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", got, goroutines*perG)
+	}
+	// Every entry is reachable through ForEach exactly once.
+	seen := make(map[int]bool, goroutines*perG)
+	m.ForEach(func(k, v int) bool {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		if v != k*2 {
+			t.Fatalf("entry %d has value %d", k, v)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != goroutines*perG {
+		t.Fatalf("ForEach visited %d entries", len(seen))
+	}
+}
+
+func TestSyncMapParallelMixed(t *testing.T) {
+	m := NewSyncMap[int, int](0)
+	var wg sync.WaitGroup
+	// Writers and readers over an overlapping key space.
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				m.Put(i%512, seed)
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				m.Get(i % 512)
+				m.ContainsKey(i % 701)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != 512 {
+		t.Fatalf("Len = %d, want 512", m.Len())
+	}
+}
+
+func TestShardedMapClearAndFootprint(t *testing.T) {
+	m := NewShardedMap[int, int](1024)
+	for i := 0; i < 1000; i++ {
+		m.Put(i, i)
+	}
+	if m.FootprintBytes() <= 0 {
+		t.Fatal("no footprint")
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", m.Len())
+	}
+	m.Put(1, 1)
+	if v, ok := m.Get(1); !ok || v != 1 {
+		t.Fatal("map unusable after Clear")
+	}
+}
+
+func TestConcurrentVariantRegistries(t *testing.T) {
+	if got := len(ConcurrentSetVariants[int]()); got != 1 {
+		t.Fatalf("concurrent set variants = %d", got)
+	}
+	if got := len(ConcurrentMapVariants[int, int]()); got != 2 {
+		t.Fatalf("concurrent map variants = %d", got)
+	}
+	for _, v := range ConcurrentMapVariants[int, int]() {
+		m := v.New(16)
+		m.Put(1, 2)
+		if _, ok := m.(Sizer); !ok {
+			t.Errorf("%s does not implement Sizer", v.ID)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package collections
+
+import "hash/maphash"
+
+// hasher produces 64-bit hashes for comparable values. Each hash-backed
+// collection owns one hasher so that different instances probe in different
+// orders (the same hardening the JDK and Koloboke apply via per-map seeds).
+type hasher[T comparable] struct {
+	seed maphash.Seed
+}
+
+func newHasher[T comparable]() hasher[T] {
+	return hasher[T]{seed: maphash.MakeSeed()}
+}
+
+func (h hasher[T]) hash(v T) uint64 {
+	return maphash.Comparable(h.seed, v)
+}
+
+// nextPow2 returns the smallest power of two >= n (and >= 1).
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,152 @@
+package collections
+
+// HashMap is the chained-bucket hash map, the analogue of JDK HashMap: a
+// bucket table of singly-linked entry chains, load factor 0.75, power-of-two
+// capacity doubling. Each entry is a separate heap allocation holding the
+// cached hash, key, value and chain link — the per-entry overhead that makes
+// chained maps the memory-heavy end of the design space.
+type HashMap[K comparable, V any] struct {
+	h       hasher[K]
+	buckets []*hmEntry[K, V]
+	size    int
+}
+
+type hmEntry[K comparable, V any] struct {
+	hash uint64
+	key  K
+	val  V
+	next *hmEntry[K, V]
+}
+
+const (
+	hashMapLoadNum = 3 // resize when size > cap * 3/4
+	hashMapLoadDen = 4
+	hashMapMinCap  = 8
+)
+
+// NewHashMap returns an empty HashMap.
+func NewHashMap[K comparable, V any]() *HashMap[K, V] {
+	return NewHashMapCap[K, V](0)
+}
+
+// NewHashMapCap returns an empty HashMap pre-sized for capHint entries.
+func NewHashMapCap[K comparable, V any](capHint int) *HashMap[K, V] {
+	c := hashMapMinCap
+	if capHint > 0 {
+		c = nextPow2(capHint * hashMapLoadDen / hashMapLoadNum)
+		if c < hashMapMinCap {
+			c = hashMapMinCap
+		}
+	}
+	return &HashMap[K, V]{
+		h:       newHasher[K](),
+		buckets: make([]*hmEntry[K, V], c),
+	}
+}
+
+func (m *HashMap[K, V]) bucketFor(hash uint64) int {
+	return int(hash & uint64(len(m.buckets)-1))
+}
+
+func (m *HashMap[K, V]) find(k K, hash uint64) *hmEntry[K, V] {
+	for e := m.buckets[m.bucketFor(hash)]; e != nil; e = e.next {
+		if e.hash == hash && e.key == k {
+			return e
+		}
+	}
+	return nil
+}
+
+func (m *HashMap[K, V]) grow() {
+	old := m.buckets
+	m.buckets = make([]*hmEntry[K, V], 2*len(old))
+	for _, e := range old {
+		for e != nil {
+			next := e.next
+			b := m.bucketFor(e.hash)
+			e.next = m.buckets[b]
+			m.buckets[b] = e
+			e = next
+		}
+	}
+}
+
+// Put associates k with v, returning the previous value if present.
+func (m *HashMap[K, V]) Put(k K, v V) (V, bool) {
+	hash := m.h.hash(k)
+	if e := m.find(k, hash); e != nil {
+		old := e.val
+		e.val = v
+		return old, true
+	}
+	if (m.size+1)*hashMapLoadDen > len(m.buckets)*hashMapLoadNum {
+		m.grow()
+	}
+	b := m.bucketFor(hash)
+	m.buckets[b] = &hmEntry[K, V]{hash: hash, key: k, val: v, next: m.buckets[b]}
+	m.size++
+	var zero V
+	return zero, false
+}
+
+// Get returns the value for k and whether it was present.
+func (m *HashMap[K, V]) Get(k K) (V, bool) {
+	if e := m.find(k, m.h.hash(k)); e != nil {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Remove deletes the entry for k.
+func (m *HashMap[K, V]) Remove(k K) (V, bool) {
+	hash := m.h.hash(k)
+	b := m.bucketFor(hash)
+	var prev *hmEntry[K, V]
+	for e := m.buckets[b]; e != nil; prev, e = e, e.next {
+		if e.hash == hash && e.key == k {
+			if prev == nil {
+				m.buckets[b] = e.next
+			} else {
+				prev.next = e.next
+			}
+			m.size--
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// ContainsKey reports whether k has an entry.
+func (m *HashMap[K, V]) ContainsKey(k K) bool {
+	return m.find(k, m.h.hash(k)) != nil
+}
+
+// Len returns the number of entries.
+func (m *HashMap[K, V]) Len() int { return m.size }
+
+// Clear removes all entries, retaining the bucket table.
+func (m *HashMap[K, V]) Clear() {
+	clear(m.buckets)
+	m.size = 0
+}
+
+// ForEach calls fn on each entry in bucket order until fn returns false.
+func (m *HashMap[K, V]) ForEach(fn func(K, V) bool) {
+	for _, e := range m.buckets {
+		for ; e != nil; e = e.next {
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// FootprintBytes estimates bucket table plus one boxed entry per element.
+func (m *HashMap[K, V]) FootprintBytes() int {
+	var zk K
+	var zv V
+	entry := structBase + 8 + sizeOf(zk) + sizeOf(zv) + wordBytes
+	return structBase + sliceHeader + len(m.buckets)*wordBytes + m.size*entry
+}

@@ -1,0 +1,47 @@
+package collections
+
+// HashSet is the chained-bucket hash set, the analogue of JDK HashSet.
+// Exactly as in the JDK, it is a thin wrapper over the chained HashMap with
+// an empty value type, inheriting its per-entry allocation overhead.
+type HashSet[T comparable] struct {
+	m *HashMap[T, struct{}]
+}
+
+// NewHashSet returns an empty HashSet.
+func NewHashSet[T comparable]() *HashSet[T] {
+	return &HashSet[T]{m: NewHashMap[T, struct{}]()}
+}
+
+// NewHashSetCap returns an empty HashSet pre-sized for capHint elements.
+func NewHashSetCap[T comparable](capHint int) *HashSet[T] {
+	return &HashSet[T]{m: NewHashMapCap[T, struct{}](capHint)}
+}
+
+// Add inserts v, reporting whether the set changed.
+func (s *HashSet[T]) Add(v T) bool {
+	_, present := s.m.Put(v, struct{}{})
+	return !present
+}
+
+// Remove deletes v, reporting whether the set changed.
+func (s *HashSet[T]) Remove(v T) bool {
+	_, present := s.m.Remove(v)
+	return present
+}
+
+// Contains reports whether v is in the set.
+func (s *HashSet[T]) Contains(v T) bool { return s.m.ContainsKey(v) }
+
+// Len returns the number of elements.
+func (s *HashSet[T]) Len() int { return s.m.Len() }
+
+// Clear removes all elements.
+func (s *HashSet[T]) Clear() { s.m.Clear() }
+
+// ForEach calls fn on each element in bucket order until fn returns false.
+func (s *HashSet[T]) ForEach(fn func(T) bool) {
+	s.m.ForEach(func(k T, _ struct{}) bool { return fn(k) })
+}
+
+// FootprintBytes estimates the retained heap of the backing chained map.
+func (s *HashSet[T]) FootprintBytes() int { return structBase + s.m.FootprintBytes() }

@@ -1,0 +1,169 @@
+package collections
+
+// LinkedHashMap is the chained-bucket hash map whose entries are
+// additionally threaded on an insertion-order doubly-linked list — the
+// analogue of JDK LinkedHashMap. Lookups cost the same as HashMap; iteration
+// is in insertion order; each entry carries two extra links of overhead.
+type LinkedHashMap[K comparable, V any] struct {
+	h       hasher[K]
+	buckets []*lhmEntry[K, V]
+	size    int
+	// head/tail of the insertion-order list.
+	head, tail *lhmEntry[K, V]
+}
+
+type lhmEntry[K comparable, V any] struct {
+	hash uint64
+	key  K
+	val  V
+	next *lhmEntry[K, V] // bucket chain
+	// insertion-order links
+	before, after *lhmEntry[K, V]
+}
+
+// NewLinkedHashMap returns an empty LinkedHashMap.
+func NewLinkedHashMap[K comparable, V any]() *LinkedHashMap[K, V] {
+	return NewLinkedHashMapCap[K, V](0)
+}
+
+// NewLinkedHashMapCap returns an empty LinkedHashMap pre-sized for capHint
+// entries.
+func NewLinkedHashMapCap[K comparable, V any](capHint int) *LinkedHashMap[K, V] {
+	c := hashMapMinCap
+	if capHint > 0 {
+		c = nextPow2(capHint * hashMapLoadDen / hashMapLoadNum)
+		if c < hashMapMinCap {
+			c = hashMapMinCap
+		}
+	}
+	return &LinkedHashMap[K, V]{
+		h:       newHasher[K](),
+		buckets: make([]*lhmEntry[K, V], c),
+	}
+}
+
+func (m *LinkedHashMap[K, V]) bucketFor(hash uint64) int {
+	return int(hash & uint64(len(m.buckets)-1))
+}
+
+func (m *LinkedHashMap[K, V]) find(k K, hash uint64) *lhmEntry[K, V] {
+	for e := m.buckets[m.bucketFor(hash)]; e != nil; e = e.next {
+		if e.hash == hash && e.key == k {
+			return e
+		}
+	}
+	return nil
+}
+
+func (m *LinkedHashMap[K, V]) grow() {
+	old := m.buckets
+	m.buckets = make([]*lhmEntry[K, V], 2*len(old))
+	for _, e := range old {
+		for e != nil {
+			next := e.next
+			b := m.bucketFor(e.hash)
+			e.next = m.buckets[b]
+			m.buckets[b] = e
+			e = next
+		}
+	}
+}
+
+// Put associates k with v, returning the previous value if present.
+func (m *LinkedHashMap[K, V]) Put(k K, v V) (V, bool) {
+	hash := m.h.hash(k)
+	if e := m.find(k, hash); e != nil {
+		old := e.val
+		e.val = v
+		return old, true
+	}
+	if (m.size+1)*hashMapLoadDen > len(m.buckets)*hashMapLoadNum {
+		m.grow()
+	}
+	b := m.bucketFor(hash)
+	e := &lhmEntry[K, V]{hash: hash, key: k, val: v, next: m.buckets[b]}
+	m.buckets[b] = e
+	if m.tail == nil {
+		m.head, m.tail = e, e
+	} else {
+		e.before = m.tail
+		m.tail.after = e
+		m.tail = e
+	}
+	m.size++
+	var zero V
+	return zero, false
+}
+
+// Get returns the value for k and whether it was present.
+func (m *LinkedHashMap[K, V]) Get(k K) (V, bool) {
+	if e := m.find(k, m.h.hash(k)); e != nil {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Remove deletes the entry for k.
+func (m *LinkedHashMap[K, V]) Remove(k K) (V, bool) {
+	hash := m.h.hash(k)
+	b := m.bucketFor(hash)
+	var prev *lhmEntry[K, V]
+	for e := m.buckets[b]; e != nil; prev, e = e, e.next {
+		if e.hash != hash || e.key != k {
+			continue
+		}
+		if prev == nil {
+			m.buckets[b] = e.next
+		} else {
+			prev.next = e.next
+		}
+		if e.before == nil {
+			m.head = e.after
+		} else {
+			e.before.after = e.after
+		}
+		if e.after == nil {
+			m.tail = e.before
+		} else {
+			e.after.before = e.before
+		}
+		m.size--
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// ContainsKey reports whether k has an entry.
+func (m *LinkedHashMap[K, V]) ContainsKey(k K) bool {
+	return m.find(k, m.h.hash(k)) != nil
+}
+
+// Len returns the number of entries.
+func (m *LinkedHashMap[K, V]) Len() int { return m.size }
+
+// Clear removes all entries, retaining the bucket table.
+func (m *LinkedHashMap[K, V]) Clear() {
+	clear(m.buckets)
+	m.head, m.tail = nil, nil
+	m.size = 0
+}
+
+// ForEach calls fn on each entry in insertion order until fn returns false.
+func (m *LinkedHashMap[K, V]) ForEach(fn func(K, V) bool) {
+	for e := m.head; e != nil; e = e.after {
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// FootprintBytes estimates bucket table plus one five-link boxed entry per
+// element.
+func (m *LinkedHashMap[K, V]) FootprintBytes() int {
+	var zk K
+	var zv V
+	entry := structBase + 8 + sizeOf(zk) + sizeOf(zv) + 3*wordBytes
+	return structBase + sliceHeader + len(m.buckets)*wordBytes + m.size*entry
+}

@@ -1,0 +1,48 @@
+package collections
+
+// LinkedHashSet is the insertion-ordered chained hash set, the analogue of
+// JDK LinkedHashSet: a wrapper over LinkedHashMap exactly as in the JDK.
+type LinkedHashSet[T comparable] struct {
+	m *LinkedHashMap[T, struct{}]
+}
+
+// NewLinkedHashSet returns an empty LinkedHashSet.
+func NewLinkedHashSet[T comparable]() *LinkedHashSet[T] {
+	return &LinkedHashSet[T]{m: NewLinkedHashMap[T, struct{}]()}
+}
+
+// NewLinkedHashSetCap returns an empty LinkedHashSet pre-sized for capHint
+// elements.
+func NewLinkedHashSetCap[T comparable](capHint int) *LinkedHashSet[T] {
+	return &LinkedHashSet[T]{m: NewLinkedHashMapCap[T, struct{}](capHint)}
+}
+
+// Add inserts v, reporting whether the set changed.
+func (s *LinkedHashSet[T]) Add(v T) bool {
+	_, present := s.m.Put(v, struct{}{})
+	return !present
+}
+
+// Remove deletes v, reporting whether the set changed.
+func (s *LinkedHashSet[T]) Remove(v T) bool {
+	_, present := s.m.Remove(v)
+	return present
+}
+
+// Contains reports whether v is in the set.
+func (s *LinkedHashSet[T]) Contains(v T) bool { return s.m.ContainsKey(v) }
+
+// Len returns the number of elements.
+func (s *LinkedHashSet[T]) Len() int { return s.m.Len() }
+
+// Clear removes all elements.
+func (s *LinkedHashSet[T]) Clear() { s.m.Clear() }
+
+// ForEach calls fn on each element in insertion order until fn returns
+// false.
+func (s *LinkedHashSet[T]) ForEach(fn func(T) bool) {
+	s.m.ForEach(func(k T, _ struct{}) bool { return fn(k) })
+}
+
+// FootprintBytes estimates the retained heap of the backing map.
+func (s *LinkedHashSet[T]) FootprintBytes() int { return structBase + s.m.FootprintBytes() }

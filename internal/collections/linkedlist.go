@@ -1,0 +1,136 @@
+package collections
+
+// LinkedList is the doubly-linked list, the analogue of JDK LinkedList:
+// O(1) insertion and removal at either end, O(n) positional access and
+// search, and a per-element node allocation (three words plus the element)
+// that dominates its memory footprint.
+type LinkedList[T comparable] struct {
+	root llNode[T] // sentinel: root.next is the head, root.prev the tail
+	size int
+}
+
+type llNode[T comparable] struct {
+	val        T
+	next, prev *llNode[T]
+}
+
+// NewLinkedList returns an empty LinkedList.
+func NewLinkedList[T comparable]() *LinkedList[T] {
+	l := &LinkedList[T]{}
+	l.root.next = &l.root
+	l.root.prev = &l.root
+	return l
+}
+
+// nodeAt returns the node at index i, walking from the nearer end.
+func (l *LinkedList[T]) nodeAt(i int) *llNode[T] {
+	if i < 0 || i >= l.size {
+		panic("collections: LinkedList index out of range")
+	}
+	if i < l.size/2 {
+		n := l.root.next
+		for ; i > 0; i-- {
+			n = n.next
+		}
+		return n
+	}
+	n := l.root.prev
+	for i = l.size - 1 - i; i > 0; i-- {
+		n = n.prev
+	}
+	return n
+}
+
+func (l *LinkedList[T]) insertBefore(at *llNode[T], v T) {
+	n := &llNode[T]{val: v, next: at, prev: at.prev}
+	at.prev.next = n
+	at.prev = n
+	l.size++
+}
+
+func (l *LinkedList[T]) unlink(n *llNode[T]) T {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.next, n.prev = nil, nil
+	l.size--
+	return n.val
+}
+
+// Add appends v to the end of the list.
+func (l *LinkedList[T]) Add(v T) { l.insertBefore(&l.root, v) }
+
+// Insert places v at index i.
+func (l *LinkedList[T]) Insert(i int, v T) {
+	if i == l.size {
+		l.Add(v)
+		return
+	}
+	l.insertBefore(l.nodeAt(i), v)
+}
+
+// Get returns the element at index i.
+func (l *LinkedList[T]) Get(i int) T { return l.nodeAt(i).val }
+
+// Set replaces the element at index i, returning the previous value.
+func (l *LinkedList[T]) Set(i int, v T) T {
+	n := l.nodeAt(i)
+	old := n.val
+	n.val = v
+	return old
+}
+
+// RemoveAt removes and returns the element at index i.
+func (l *LinkedList[T]) RemoveAt(i int) T { return l.unlink(l.nodeAt(i)) }
+
+// Remove deletes the first occurrence of v.
+func (l *LinkedList[T]) Remove(v T) bool {
+	for n := l.root.next; n != &l.root; n = n.next {
+		if n.val == v {
+			l.unlink(n)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether v occurs in the list (linear scan).
+func (l *LinkedList[T]) Contains(v T) bool { return l.IndexOf(v) >= 0 }
+
+// IndexOf returns the index of the first occurrence of v, or -1.
+func (l *LinkedList[T]) IndexOf(v T) int {
+	i := 0
+	for n := l.root.next; n != &l.root; n = n.next {
+		if n.val == v {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// Len returns the number of elements.
+func (l *LinkedList[T]) Len() int { return l.size }
+
+// Clear removes all elements.
+func (l *LinkedList[T]) Clear() {
+	l.root.next = &l.root
+	l.root.prev = &l.root
+	l.size = 0
+}
+
+// ForEach calls fn on each element in order until fn returns false.
+func (l *LinkedList[T]) ForEach(fn func(T) bool) {
+	for n := l.root.next; n != &l.root; n = n.next {
+		if !fn(n.val) {
+			return
+		}
+	}
+}
+
+// FootprintBytes estimates the retained heap: one three-field node per
+// element plus allocator overhead per node.
+func (l *LinkedList[T]) FootprintBytes() int {
+	var zero T
+	nodeSize := structBase + sizeOf(zero) + 2*wordBytes
+	return structBase + l.size*nodeSize
+}

@@ -1,0 +1,325 @@
+package collections
+
+import (
+	"testing"
+)
+
+// forEachListVariant runs fn as a subtest for every list variant.
+func forEachListVariant(t *testing.T, fn func(t *testing.T, newList func() List[int])) {
+	t.Helper()
+	for _, v := range ListVariants[int]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			fn(t, func() List[int] { return v.New(0) })
+		})
+	}
+	// Also exercise a low-threshold adaptive list so the hash form is hit
+	// by every conformance test, not only by large inputs.
+	t.Run("list/adaptive-threshold2", func(t *testing.T) {
+		fn(t, func() List[int] { return NewAdaptiveListThreshold[int](2) })
+	})
+}
+
+func TestListAddGetLen(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		if l.Len() != 0 {
+			t.Fatalf("new list Len = %d, want 0", l.Len())
+		}
+		for i := 0; i < 100; i++ {
+			l.Add(i * 3)
+		}
+		if l.Len() != 100 {
+			t.Fatalf("Len = %d, want 100", l.Len())
+		}
+		for i := 0; i < 100; i++ {
+			if got := l.Get(i); got != i*3 {
+				t.Fatalf("Get(%d) = %d, want %d", i, got, i*3)
+			}
+		}
+	})
+}
+
+func TestListInsert(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		l.Insert(0, 10) // insert into empty at 0
+		l.Insert(1, 30) // insert at end
+		l.Insert(1, 20) // insert in middle
+		l.Insert(0, 5)  // insert at head
+		want := []int{5, 10, 20, 30}
+		if l.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", l.Len(), len(want))
+		}
+		for i, w := range want {
+			if got := l.Get(i); got != w {
+				t.Errorf("Get(%d) = %d, want %d", i, got, w)
+			}
+		}
+	})
+}
+
+func TestListInsertMiddleMany(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		for i := 0; i < 50; i++ {
+			l.Add(i)
+		}
+		// Repeated middle insertion, the paper's "middle" critical op.
+		for i := 0; i < 50; i++ {
+			l.Insert(l.Len()/2, 1000+i)
+		}
+		if l.Len() != 100 {
+			t.Fatalf("Len = %d, want 100", l.Len())
+		}
+		for i := 0; i < 50; i++ {
+			if !l.Contains(1000 + i) {
+				t.Fatalf("missing inserted element %d", 1000+i)
+			}
+		}
+	})
+}
+
+func TestListSet(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		for i := 0; i < 10; i++ {
+			l.Add(i)
+		}
+		if old := l.Set(4, 99); old != 4 {
+			t.Fatalf("Set returned %d, want 4", old)
+		}
+		if got := l.Get(4); got != 99 {
+			t.Fatalf("Get(4) = %d, want 99", got)
+		}
+		if l.Contains(4) {
+			t.Fatal("list still contains overwritten value 4")
+		}
+		if !l.Contains(99) {
+			t.Fatal("list missing new value 99")
+		}
+	})
+}
+
+func TestListRemoveAt(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		for i := 0; i < 5; i++ {
+			l.Add(i)
+		}
+		if got := l.RemoveAt(2); got != 2 {
+			t.Fatalf("RemoveAt(2) = %d, want 2", got)
+		}
+		want := []int{0, 1, 3, 4}
+		for i, w := range want {
+			if got := l.Get(i); got != w {
+				t.Errorf("Get(%d) = %d, want %d", i, got, w)
+			}
+		}
+		if got := l.RemoveAt(0); got != 0 {
+			t.Fatalf("RemoveAt(0) = %d, want 0", got)
+		}
+		if got := l.RemoveAt(l.Len() - 1); got != 4 {
+			t.Fatalf("RemoveAt(last) = %d, want 4", got)
+		}
+		if l.Len() != 2 {
+			t.Fatalf("Len = %d, want 2", l.Len())
+		}
+	})
+}
+
+func TestListRemoveValue(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		for _, v := range []int{7, 8, 7, 9} {
+			l.Add(v)
+		}
+		if !l.Remove(7) {
+			t.Fatal("Remove(7) = false, want true")
+		}
+		// Only the first occurrence goes; the second 7 remains.
+		if !l.Contains(7) {
+			t.Fatal("second occurrence of 7 should remain")
+		}
+		if got := l.Get(0); got != 8 {
+			t.Fatalf("Get(0) = %d, want 8", got)
+		}
+		if l.Remove(42) {
+			t.Fatal("Remove(42) = true for absent element")
+		}
+		if l.Len() != 3 {
+			t.Fatalf("Len = %d, want 3", l.Len())
+		}
+	})
+}
+
+func TestListContainsIndexOf(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		for i := 0; i < 200; i++ {
+			l.Add(i * 2)
+		}
+		for i := 0; i < 200; i++ {
+			if !l.Contains(i * 2) {
+				t.Fatalf("Contains(%d) = false", i*2)
+			}
+			if l.Contains(i*2 + 1) {
+				t.Fatalf("Contains(%d) = true for absent", i*2+1)
+			}
+			if got := l.IndexOf(i * 2); got != i {
+				t.Fatalf("IndexOf(%d) = %d, want %d", i*2, got, i)
+			}
+		}
+		if got := l.IndexOf(-1); got != -1 {
+			t.Fatalf("IndexOf(-1) = %d, want -1", got)
+		}
+	})
+}
+
+func TestListIndexOfDuplicates(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		for _, v := range []int{5, 1, 5, 2, 5} {
+			l.Add(v)
+		}
+		if got := l.IndexOf(5); got != 0 {
+			t.Fatalf("IndexOf(5) = %d, want 0 (first occurrence)", got)
+		}
+	})
+}
+
+func TestListClear(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		for i := 0; i < 150; i++ {
+			l.Add(i)
+		}
+		l.Clear()
+		if l.Len() != 0 {
+			t.Fatalf("Len after Clear = %d, want 0", l.Len())
+		}
+		if l.Contains(3) {
+			t.Fatal("Contains(3) = true after Clear")
+		}
+		// The list must be reusable after Clear.
+		l.Add(42)
+		if l.Len() != 1 || !l.Contains(42) {
+			t.Fatal("list unusable after Clear")
+		}
+	})
+}
+
+func TestListForEach(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		for i := 0; i < 20; i++ {
+			l.Add(i)
+		}
+		var got []int
+		l.ForEach(func(v int) bool {
+			got = append(got, v)
+			return true
+		})
+		if len(got) != 20 {
+			t.Fatalf("ForEach visited %d elements, want 20", len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("ForEach order: got[%d] = %d, want %d", i, v, i)
+			}
+		}
+		// Early termination.
+		count := 0
+		l.ForEach(func(int) bool {
+			count++
+			return count < 5
+		})
+		if count != 5 {
+			t.Fatalf("early-terminated ForEach visited %d, want 5", count)
+		}
+	})
+}
+
+func TestListForEachEmpty(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		l.ForEach(func(int) bool {
+			t.Fatal("ForEach callback invoked on empty list")
+			return true
+		})
+	})
+}
+
+func TestListInsertPanics(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		l.Add(1)
+		for _, bad := range []int{-1, 3} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("Insert(%d) on len-1 list did not panic", bad)
+					}
+				}()
+				l.Insert(bad, 0)
+			}()
+		}
+	})
+}
+
+func TestListGetPanics(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		l.Add(1)
+		for _, bad := range []int{-1, 1, 100} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("Get(%d) on len-1 list did not panic", bad)
+					}
+				}()
+				l.Get(bad)
+			}()
+		}
+	})
+}
+
+func TestListFootprintGrows(t *testing.T) {
+	forEachListVariant(t, func(t *testing.T, newList func() List[int]) {
+		l := newList()
+		sz, ok := l.(Sizer)
+		if !ok {
+			t.Fatal("list variant does not implement Sizer")
+		}
+		empty := sz.FootprintBytes()
+		if empty <= 0 {
+			t.Fatalf("empty footprint = %d, want > 0", empty)
+		}
+		for i := 0; i < 1000; i++ {
+			l.Add(i)
+		}
+		full := sz.FootprintBytes()
+		if full <= empty {
+			t.Fatalf("footprint did not grow: empty %d, full %d", empty, full)
+		}
+	})
+}
+
+func TestListStringElements(t *testing.T) {
+	// The variants are generic; make sure a non-integer element type works.
+	for _, v := range ListVariants[string]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			l := v.New(0)
+			l.Add("a")
+			l.Add("b")
+			l.Insert(1, "c")
+			if got := l.Get(1); got != "c" {
+				t.Fatalf("Get(1) = %q, want %q", got, "c")
+			}
+			if !l.Contains("b") || l.Contains("z") {
+				t.Fatal("Contains misbehaves for strings")
+			}
+		})
+	}
+}

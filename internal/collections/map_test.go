@@ -1,0 +1,306 @@
+package collections
+
+import (
+	"sort"
+	"testing"
+)
+
+// forEachMapVariant runs fn as a subtest for every map variant, plus a
+// low-threshold adaptive map so its hash form is always exercised.
+func forEachMapVariant(t *testing.T, fn func(t *testing.T, newMap func() Map[int, string])) {
+	t.Helper()
+	for _, v := range MapVariants[int, string]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			fn(t, func() Map[int, string] { return v.New(0) })
+		})
+	}
+	t.Run("map/adaptive-threshold3", func(t *testing.T) {
+		fn(t, func() Map[int, string] { return NewAdaptiveMapThreshold[int, string](3) })
+	})
+}
+
+func TestMapPutGet(t *testing.T) {
+	forEachMapVariant(t, func(t *testing.T, newMap func() Map[int, string]) {
+		m := newMap()
+		if m.Len() != 0 {
+			t.Fatalf("new map Len = %d, want 0", m.Len())
+		}
+		words := []string{"zero", "one", "two", "three", "four"}
+		for i, w := range words {
+			if _, present := m.Put(i, w); present {
+				t.Fatalf("Put(%d) reported existing entry on first insert", i)
+			}
+		}
+		if m.Len() != len(words) {
+			t.Fatalf("Len = %d, want %d", m.Len(), len(words))
+		}
+		for i, w := range words {
+			got, ok := m.Get(i)
+			if !ok || got != w {
+				t.Fatalf("Get(%d) = %q, %v; want %q, true", i, got, ok, w)
+			}
+		}
+		if _, ok := m.Get(99); ok {
+			t.Fatal("Get(99) = present for absent key")
+		}
+	})
+}
+
+func TestMapPutOverwrite(t *testing.T) {
+	forEachMapVariant(t, func(t *testing.T, newMap func() Map[int, string]) {
+		m := newMap()
+		m.Put(1, "first")
+		old, present := m.Put(1, "second")
+		if !present || old != "first" {
+			t.Fatalf("Put overwrite returned %q, %v; want %q, true", old, present, "first")
+		}
+		if m.Len() != 1 {
+			t.Fatalf("Len = %d after overwrite, want 1", m.Len())
+		}
+		got, _ := m.Get(1)
+		if got != "second" {
+			t.Fatalf("Get(1) = %q, want %q", got, "second")
+		}
+	})
+}
+
+func TestMapRemove(t *testing.T) {
+	forEachMapVariant(t, func(t *testing.T, newMap func() Map[int, string]) {
+		m := newMap()
+		for i := 0; i < 100; i++ {
+			m.Put(i, "v")
+		}
+		for i := 0; i < 100; i += 3 {
+			got, ok := m.Remove(i)
+			if !ok || got != "v" {
+				t.Fatalf("Remove(%d) = %q, %v; want v, true", i, got, ok)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			want := i%3 != 0
+			if got := m.ContainsKey(i); got != want {
+				t.Fatalf("ContainsKey(%d) = %v, want %v", i, got, want)
+			}
+		}
+		if _, ok := m.Remove(0); ok {
+			t.Fatal("Remove(0) succeeded twice")
+		}
+		if _, ok := m.Remove(-5); ok {
+			t.Fatal("Remove(-5) succeeded for never-present key")
+		}
+	})
+}
+
+func TestMapChurn(t *testing.T) {
+	forEachMapVariant(t, func(t *testing.T, newMap func() Map[int, string]) {
+		m := newMap()
+		const window = 48
+		for i := 0; i < 3000; i++ {
+			m.Put(i, "x")
+			if i >= window {
+				if _, ok := m.Remove(i - window); !ok {
+					t.Fatalf("Remove(%d) failed", i-window)
+				}
+			}
+		}
+		if m.Len() != window {
+			t.Fatalf("Len = %d, want %d", m.Len(), window)
+		}
+		for i := 3000 - window; i < 3000; i++ {
+			if !m.ContainsKey(i) {
+				t.Fatalf("live key %d lost", i)
+			}
+		}
+	})
+}
+
+func TestMapClear(t *testing.T) {
+	forEachMapVariant(t, func(t *testing.T, newMap func() Map[int, string]) {
+		m := newMap()
+		for i := 0; i < 80; i++ {
+			m.Put(i, "v")
+		}
+		m.Clear()
+		if m.Len() != 0 {
+			t.Fatalf("Len after Clear = %d, want 0", m.Len())
+		}
+		if m.ContainsKey(5) {
+			t.Fatal("ContainsKey(5) = true after Clear")
+		}
+		m.Put(7, "again")
+		if got, ok := m.Get(7); !ok || got != "again" {
+			t.Fatal("map unusable after Clear")
+		}
+	})
+}
+
+func TestMapForEach(t *testing.T) {
+	forEachMapVariant(t, func(t *testing.T, newMap func() Map[int, string]) {
+		m := newMap()
+		for i := 0; i < 30; i++ {
+			m.Put(i, "v")
+		}
+		var keys []int
+		m.ForEach(func(k int, v string) bool {
+			if v != "v" {
+				t.Fatalf("ForEach value for %d = %q", k, v)
+			}
+			keys = append(keys, k)
+			return true
+		})
+		if len(keys) != 30 {
+			t.Fatalf("ForEach visited %d entries, want 30", len(keys))
+		}
+		sort.Ints(keys)
+		for i, k := range keys {
+			if k != i {
+				t.Fatalf("ForEach key set wrong at %d: %d", i, k)
+			}
+		}
+		count := 0
+		m.ForEach(func(int, string) bool {
+			count++
+			return count < 4
+		})
+		if count != 4 {
+			t.Fatalf("early-terminated ForEach visited %d, want 4", count)
+		}
+	})
+}
+
+func TestMapInsertionOrderVariants(t *testing.T) {
+	for name, newMap := range map[string]func() Map[int, string]{
+		"linkedhash": func() Map[int, string] { return NewLinkedHashMap[int, string]() },
+		"array":      func() Map[int, string] { return NewArrayMap[int, string]() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := newMap()
+			order := []int{4, 2, 8, 0, 6}
+			for _, k := range order {
+				m.Put(k, "v")
+			}
+			var got []int
+			m.ForEach(func(k int, _ string) bool {
+				got = append(got, k)
+				return true
+			})
+			for i, w := range order {
+				if got[i] != w {
+					t.Fatalf("insertion order broken: got %v, want %v", got, order)
+				}
+			}
+		})
+	}
+}
+
+func TestLinkedHashMapOrderAfterRemove(t *testing.T) {
+	m := NewLinkedHashMap[int, int]()
+	for i := 0; i < 8; i++ {
+		m.Put(i, i*i)
+	}
+	m.Remove(0)
+	m.Remove(7)
+	m.Remove(3)
+	want := []int{1, 2, 4, 5, 6}
+	var got []int
+	m.ForEach(func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMapGrowthAcrossResizes(t *testing.T) {
+	forEachMapVariant(t, func(t *testing.T, newMap func() Map[int, string]) {
+		m := newMap()
+		const n = 8000
+		for i := 0; i < n; i++ {
+			m.Put(i, "v")
+		}
+		if m.Len() != n {
+			t.Fatalf("Len = %d, want %d", m.Len(), n)
+		}
+		for i := 0; i < n; i += 61 {
+			if !m.ContainsKey(i) {
+				t.Fatalf("ContainsKey(%d) = false after growth", i)
+			}
+		}
+	})
+}
+
+func TestMapZeroValueValues(t *testing.T) {
+	// A stored zero value must be distinguishable from absence.
+	forEachMapVariant(t, func(t *testing.T, newMap func() Map[int, string]) {
+		m := newMap()
+		m.Put(1, "")
+		got, ok := m.Get(1)
+		if !ok || got != "" {
+			t.Fatal("stored zero value not retrievable")
+		}
+		if _, ok := m.Get(2); ok {
+			t.Fatal("absent key reported present")
+		}
+	})
+}
+
+func TestMapFootprintOrdering(t *testing.T) {
+	// See TestSetFootprintOrdering for why n=900.
+	const n = 900
+	build := func(id VariantID) int {
+		m := NewMapOf[int, int](id, 0)
+		for i := 0; i < n; i++ {
+			m.Put(i, i)
+		}
+		return m.(Sizer).FootprintBytes()
+	}
+	array := build(ArrayMapID)
+	compact := build(CompactHashMapID)
+	openCmp := build(OpenHashMapCmpID)
+	openFast := build(OpenHashMapFastID)
+	chained := build(HashMapID)
+	linked := build(LinkedHashMapID)
+	if !(array < compact) {
+		t.Errorf("ArrayMap (%d) should be smaller than CompactHashMap (%d)", array, compact)
+	}
+	if !(compact < chained) {
+		t.Errorf("CompactHashMap (%d) should be smaller than chained HashMap (%d)", compact, chained)
+	}
+	if !(openCmp < openFast) {
+		t.Errorf("compact OpenHashMap (%d) should be smaller than fast OpenHashMap (%d)", openCmp, openFast)
+	}
+	if !(openFast < chained) {
+		t.Errorf("fast OpenHashMap (%d) should be smaller than chained HashMap (%d)", openFast, chained)
+	}
+	if !(chained < linked) {
+		t.Errorf("chained HashMap (%d) should be smaller than LinkedHashMap (%d)", chained, linked)
+	}
+}
+
+func TestMapStructKeys(t *testing.T) {
+	type key struct {
+		A int
+		B string
+	}
+	for _, v := range MapVariants[key, int]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			m := v.New(0)
+			m.Put(key{1, "x"}, 10)
+			m.Put(key{2, "y"}, 20)
+			if got, ok := m.Get(key{1, "x"}); !ok || got != 10 {
+				t.Fatalf("Get(struct) = %d, %v", got, ok)
+			}
+			if _, ok := m.Get(key{1, "y"}); ok {
+				t.Fatal("wrong struct key matched")
+			}
+		})
+	}
+}

@@ -1,0 +1,301 @@
+package collections
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// opScript is a randomly generated sequence of collection operations; its
+// Generate method makes it usable directly with testing/quick.
+type opScript struct {
+	Ops []scriptOp
+}
+
+type scriptOp struct {
+	Kind uint8 // interpreted modulo the per-abstraction op count
+	Arg  int16 // value / key material
+	Pos  uint8 // positional material for lists
+}
+
+// Generate implements quick.Generator, producing scripts of up to 400 ops
+// with arguments drawn from a small domain so that duplicates, collisions
+// and remove-hits are frequent.
+func (opScript) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 50 + r.Intn(350)
+	ops := make([]scriptOp, n)
+	for i := range ops {
+		ops[i] = scriptOp{
+			Kind: uint8(r.Intn(256)),
+			Arg:  int16(r.Intn(128)),
+			Pos:  uint8(r.Intn(256)),
+		}
+	}
+	return reflect.ValueOf(opScript{Ops: ops})
+}
+
+// listOracle replays a script against both a variant and a plain slice,
+// failing the test at the first observable divergence.
+func runListScript(t *testing.T, id VariantID, l List[int], script opScript) {
+	t.Helper()
+	var oracle []int
+	for step, op := range script.Ops {
+		switch op.Kind % 7 {
+		case 0: // Add
+			l.Add(int(op.Arg))
+			oracle = append(oracle, int(op.Arg))
+		case 1: // Insert
+			if len(oracle) == 0 {
+				continue
+			}
+			pos := int(op.Pos) % (len(oracle) + 1)
+			l.Insert(pos, int(op.Arg))
+			oracle = append(oracle, 0)
+			copy(oracle[pos+1:], oracle[pos:])
+			oracle[pos] = int(op.Arg)
+		case 2: // RemoveAt
+			if len(oracle) == 0 {
+				continue
+			}
+			pos := int(op.Pos) % len(oracle)
+			got := l.RemoveAt(pos)
+			want := oracle[pos]
+			oracle = append(oracle[:pos], oracle[pos+1:]...)
+			if got != want {
+				t.Fatalf("%s step %d: RemoveAt(%d) = %d, oracle %d", id, step, pos, got, want)
+			}
+		case 3: // Remove by value
+			got := l.Remove(int(op.Arg))
+			want := false
+			for i, v := range oracle {
+				if v == int(op.Arg) {
+					oracle = append(oracle[:i], oracle[i+1:]...)
+					want = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("%s step %d: Remove(%d) = %v, oracle %v", id, step, op.Arg, got, want)
+			}
+		case 4: // Contains + IndexOf
+			got := l.IndexOf(int(op.Arg))
+			want := -1
+			for i, v := range oracle {
+				if v == int(op.Arg) {
+					want = i
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("%s step %d: IndexOf(%d) = %d, oracle %d", id, step, op.Arg, got, want)
+			}
+			if c := l.Contains(int(op.Arg)); c != (want >= 0) {
+				t.Fatalf("%s step %d: Contains(%d) = %v, oracle %v", id, step, op.Arg, c, want >= 0)
+			}
+		case 5: // Set
+			if len(oracle) == 0 {
+				continue
+			}
+			pos := int(op.Pos) % len(oracle)
+			got := l.Set(pos, int(op.Arg))
+			if got != oracle[pos] {
+				t.Fatalf("%s step %d: Set(%d) returned %d, oracle %d", id, step, pos, got, oracle[pos])
+			}
+			oracle[pos] = int(op.Arg)
+		case 6: // Get
+			if len(oracle) == 0 {
+				continue
+			}
+			pos := int(op.Pos) % len(oracle)
+			if got := l.Get(pos); got != oracle[pos] {
+				t.Fatalf("%s step %d: Get(%d) = %d, oracle %d", id, step, pos, got, oracle[pos])
+			}
+		}
+		if l.Len() != len(oracle) {
+			t.Fatalf("%s step %d: Len = %d, oracle %d", id, step, l.Len(), len(oracle))
+		}
+	}
+	// Final full-state comparison via ForEach.
+	i := 0
+	l.ForEach(func(v int) bool {
+		if i >= len(oracle) || v != oracle[i] {
+			t.Fatalf("%s final: element %d = %d, oracle %v", id, i, v, oracle)
+		}
+		i++
+		return true
+	})
+	if i != len(oracle) {
+		t.Fatalf("%s final: iterated %d elements, oracle has %d", id, i, len(oracle))
+	}
+}
+
+func TestListPropertyOracle(t *testing.T) {
+	for _, v := range ListVariants[int]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			f := func(script opScript) bool {
+				runListScript(t, v.ID, v.New(0), script)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	t.Run("list/adaptive-threshold5", func(t *testing.T) {
+		f := func(script opScript) bool {
+			runListScript(t, "adaptive-5", NewAdaptiveListThreshold[int](5), script)
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func runSetScript(t *testing.T, id VariantID, s Set[int], script opScript) {
+	t.Helper()
+	oracle := make(map[int]bool)
+	for step, op := range script.Ops {
+		arg := int(op.Arg)
+		switch op.Kind % 3 {
+		case 0: // Add
+			got := s.Add(arg)
+			want := !oracle[arg]
+			oracle[arg] = true
+			if got != want {
+				t.Fatalf("%s step %d: Add(%d) = %v, oracle %v", id, step, arg, got, want)
+			}
+		case 1: // Remove
+			got := s.Remove(arg)
+			want := oracle[arg]
+			delete(oracle, arg)
+			if got != want {
+				t.Fatalf("%s step %d: Remove(%d) = %v, oracle %v", id, step, arg, got, want)
+			}
+		case 2: // Contains
+			if got := s.Contains(arg); got != oracle[arg] {
+				t.Fatalf("%s step %d: Contains(%d) = %v, oracle %v", id, step, arg, got, oracle[arg])
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("%s step %d: Len = %d, oracle %d", id, step, s.Len(), len(oracle))
+		}
+	}
+	seen := make(map[int]bool)
+	s.ForEach(func(v int) bool {
+		if seen[v] {
+			t.Fatalf("%s final: duplicate element %d in iteration", id, v)
+		}
+		seen[v] = true
+		if !oracle[v] {
+			t.Fatalf("%s final: phantom element %d", id, v)
+		}
+		return true
+	})
+	if len(seen) != len(oracle) {
+		t.Fatalf("%s final: iterated %d elements, oracle has %d", id, len(seen), len(oracle))
+	}
+}
+
+func TestSetPropertyOracle(t *testing.T) {
+	for _, v := range SetVariants[int]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			f := func(script opScript) bool {
+				runSetScript(t, v.ID, v.New(0), script)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	t.Run("set/adaptive-threshold5", func(t *testing.T) {
+		f := func(script opScript) bool {
+			runSetScript(t, "adaptive-5", NewAdaptiveSetThreshold[int](5), script)
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func runMapScript(t *testing.T, id VariantID, m Map[int, int], script opScript) {
+	t.Helper()
+	oracle := make(map[int]int)
+	for step, op := range script.Ops {
+		k := int(op.Arg)
+		v := int(op.Pos)
+		switch op.Kind % 4 {
+		case 0: // Put
+			got, present := m.Put(k, v)
+			wantVal, wantPresent := oracle[k]
+			oracle[k] = v
+			if present != wantPresent || (present && got != wantVal) {
+				t.Fatalf("%s step %d: Put(%d) = %d,%v; oracle %d,%v", id, step, k, got, present, wantVal, wantPresent)
+			}
+		case 1: // Get
+			got, ok := m.Get(k)
+			wantVal, wantOk := oracle[k]
+			if ok != wantOk || (ok && got != wantVal) {
+				t.Fatalf("%s step %d: Get(%d) = %d,%v; oracle %d,%v", id, step, k, got, ok, wantVal, wantOk)
+			}
+		case 2: // Remove
+			got, ok := m.Remove(k)
+			wantVal, wantOk := oracle[k]
+			delete(oracle, k)
+			if ok != wantOk || (ok && got != wantVal) {
+				t.Fatalf("%s step %d: Remove(%d) = %d,%v; oracle %d,%v", id, step, k, got, ok, wantVal, wantOk)
+			}
+		case 3: // ContainsKey
+			_, wantOk := oracle[k]
+			if got := m.ContainsKey(k); got != wantOk {
+				t.Fatalf("%s step %d: ContainsKey(%d) = %v, oracle %v", id, step, k, got, wantOk)
+			}
+		}
+		if m.Len() != len(oracle) {
+			t.Fatalf("%s step %d: Len = %d, oracle %d", id, step, m.Len(), len(oracle))
+		}
+	}
+	seen := make(map[int]bool)
+	m.ForEach(func(k, v int) bool {
+		if seen[k] {
+			t.Fatalf("%s final: duplicate key %d", id, k)
+		}
+		seen[k] = true
+		if want, ok := oracle[k]; !ok || want != v {
+			t.Fatalf("%s final: entry %d=%d, oracle %d (present %v)", id, k, v, want, ok)
+		}
+		return true
+	})
+	if len(seen) != len(oracle) {
+		t.Fatalf("%s final: iterated %d entries, oracle has %d", id, len(seen), len(oracle))
+	}
+}
+
+func TestMapPropertyOracle(t *testing.T) {
+	for _, v := range MapVariants[int, int]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			f := func(script opScript) bool {
+				runMapScript(t, v.ID, v.New(0), script)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	t.Run("map/adaptive-threshold5", func(t *testing.T) {
+		f := func(script opScript) bool {
+			runMapScript(t, "adaptive-5", NewAdaptiveMapThreshold[int, int](5), script)
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,314 @@
+package collections
+
+import (
+	"sort"
+	"testing"
+)
+
+// forEachSetVariant runs fn as a subtest for every set variant, plus a
+// low-threshold adaptive set so its hash form is always exercised.
+func forEachSetVariant(t *testing.T, fn func(t *testing.T, newSet func() Set[int])) {
+	t.Helper()
+	for _, v := range SetVariants[int]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			fn(t, func() Set[int] { return v.New(0) })
+		})
+	}
+	t.Run("set/adaptive-threshold3", func(t *testing.T) {
+		fn(t, func() Set[int] { return NewAdaptiveSetThreshold[int](3) })
+	})
+}
+
+func TestSetAddContains(t *testing.T) {
+	forEachSetVariant(t, func(t *testing.T, newSet func() Set[int]) {
+		s := newSet()
+		if s.Len() != 0 {
+			t.Fatalf("new set Len = %d, want 0", s.Len())
+		}
+		for i := 0; i < 500; i++ {
+			if !s.Add(i * 7) {
+				t.Fatalf("Add(%d) = false on first insert", i*7)
+			}
+		}
+		if s.Len() != 500 {
+			t.Fatalf("Len = %d, want 500", s.Len())
+		}
+		for i := 0; i < 500; i++ {
+			if !s.Contains(i * 7) {
+				t.Fatalf("Contains(%d) = false", i*7)
+			}
+		}
+		if s.Contains(-3) {
+			t.Fatal("Contains(-3) = true for absent element")
+		}
+	})
+}
+
+func TestSetAddDuplicate(t *testing.T) {
+	forEachSetVariant(t, func(t *testing.T, newSet func() Set[int]) {
+		s := newSet()
+		for i := 0; i < 100; i++ {
+			s.Add(i)
+		}
+		for i := 0; i < 100; i++ {
+			if s.Add(i) {
+				t.Fatalf("Add(%d) = true on duplicate insert", i)
+			}
+		}
+		if s.Len() != 100 {
+			t.Fatalf("Len = %d after duplicate inserts, want 100", s.Len())
+		}
+	})
+}
+
+func TestSetRemove(t *testing.T) {
+	forEachSetVariant(t, func(t *testing.T, newSet func() Set[int]) {
+		s := newSet()
+		for i := 0; i < 200; i++ {
+			s.Add(i)
+		}
+		// Remove the evens.
+		for i := 0; i < 200; i += 2 {
+			if !s.Remove(i) {
+				t.Fatalf("Remove(%d) = false for present element", i)
+			}
+		}
+		if s.Len() != 100 {
+			t.Fatalf("Len = %d, want 100", s.Len())
+		}
+		for i := 0; i < 200; i++ {
+			want := i%2 == 1
+			if got := s.Contains(i); got != want {
+				t.Fatalf("Contains(%d) = %v, want %v", i, got, want)
+			}
+		}
+		if s.Remove(0) {
+			t.Fatal("Remove(0) = true for already-removed element")
+		}
+		if s.Remove(1000) {
+			t.Fatal("Remove(1000) = true for never-present element")
+		}
+	})
+}
+
+func TestSetRemoveThenReAdd(t *testing.T) {
+	// Exercises tombstone handling in the open-addressing variants.
+	forEachSetVariant(t, func(t *testing.T, newSet func() Set[int]) {
+		s := newSet()
+		for round := 0; round < 5; round++ {
+			for i := 0; i < 100; i++ {
+				s.Add(i)
+			}
+			for i := 0; i < 100; i++ {
+				if !s.Remove(i) {
+					t.Fatalf("round %d: Remove(%d) failed", round, i)
+				}
+			}
+			if s.Len() != 0 {
+				t.Fatalf("round %d: Len = %d, want 0", round, s.Len())
+			}
+		}
+		s.Add(42)
+		if !s.Contains(42) || s.Len() != 1 {
+			t.Fatal("set corrupt after add/remove churn")
+		}
+	})
+}
+
+func TestSetChurnKeepsProbing(t *testing.T) {
+	// Heavy interleaved add/remove with a fixed live window; detects
+	// tombstone-chain breakage where a later lookup misses a live key.
+	forEachSetVariant(t, func(t *testing.T, newSet func() Set[int]) {
+		s := newSet()
+		const window = 64
+		for i := 0; i < 4000; i++ {
+			s.Add(i)
+			if i >= window {
+				if !s.Remove(i - window) {
+					t.Fatalf("Remove(%d) failed", i-window)
+				}
+			}
+		}
+		if s.Len() != window {
+			t.Fatalf("Len = %d, want %d", s.Len(), window)
+		}
+		for i := 4000 - window; i < 4000; i++ {
+			if !s.Contains(i) {
+				t.Fatalf("live element %d lost", i)
+			}
+		}
+	})
+}
+
+func TestSetClear(t *testing.T) {
+	forEachSetVariant(t, func(t *testing.T, newSet func() Set[int]) {
+		s := newSet()
+		for i := 0; i < 100; i++ {
+			s.Add(i)
+		}
+		s.Clear()
+		if s.Len() != 0 {
+			t.Fatalf("Len after Clear = %d, want 0", s.Len())
+		}
+		for i := 0; i < 100; i++ {
+			if s.Contains(i) {
+				t.Fatalf("Contains(%d) = true after Clear", i)
+			}
+		}
+		if !s.Add(1) || s.Len() != 1 {
+			t.Fatal("set unusable after Clear")
+		}
+	})
+}
+
+func TestSetForEach(t *testing.T) {
+	forEachSetVariant(t, func(t *testing.T, newSet func() Set[int]) {
+		s := newSet()
+		for i := 0; i < 50; i++ {
+			s.Add(i)
+		}
+		var got []int
+		s.ForEach(func(v int) bool {
+			got = append(got, v)
+			return true
+		})
+		if len(got) != 50 {
+			t.Fatalf("ForEach visited %d elements, want 50", len(got))
+		}
+		sort.Ints(got)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("ForEach element set wrong at %d: %d", i, v)
+			}
+		}
+		count := 0
+		s.ForEach(func(int) bool {
+			count++
+			return count < 7
+		})
+		if count != 7 {
+			t.Fatalf("early-terminated ForEach visited %d, want 7", count)
+		}
+	})
+}
+
+func TestSetInsertionOrderVariants(t *testing.T) {
+	// LinkedHashSet and ArraySet guarantee insertion-order iteration.
+	for _, newSet := range map[string]func() Set[int]{
+		"linkedhash": func() Set[int] { return NewLinkedHashSet[int]() },
+		"array":      func() Set[int] { return NewArraySet[int]() },
+	} {
+		s := newSet()
+		order := []int{5, 3, 9, 1, 7}
+		for _, v := range order {
+			s.Add(v)
+		}
+		var got []int
+		s.ForEach(func(v int) bool {
+			got = append(got, v)
+			return true
+		})
+		for i, w := range order {
+			if got[i] != w {
+				t.Fatalf("insertion order broken: got %v, want %v", got, order)
+			}
+		}
+	}
+}
+
+func TestLinkedHashSetOrderAfterRemove(t *testing.T) {
+	s := NewLinkedHashSet[int]()
+	for i := 0; i < 10; i++ {
+		s.Add(i)
+	}
+	s.Remove(0) // head
+	s.Remove(9) // tail
+	s.Remove(5) // middle
+	want := []int{1, 2, 3, 4, 6, 7, 8}
+	var got []int
+	s.ForEach(func(v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetGrowthAcrossResizes(t *testing.T) {
+	forEachSetVariant(t, func(t *testing.T, newSet func() Set[int]) {
+		s := newSet()
+		const n = 10000
+		for i := 0; i < n; i++ {
+			s.Add(i)
+		}
+		if s.Len() != n {
+			t.Fatalf("Len = %d, want %d", s.Len(), n)
+		}
+		for i := 0; i < n; i += 97 {
+			if !s.Contains(i) {
+				t.Fatalf("Contains(%d) = false after growth", i)
+			}
+		}
+	})
+}
+
+func TestSetFootprintOrdering(t *testing.T) {
+	// At a fixed size well above the adaptive threshold, the memory
+	// ordering the paper relies on must hold: array < compact < open
+	// variants, and chained (boxed entries) the largest. Size 900 is
+	// chosen so the power-of-two tables of the presets do not coincide
+	// (at e.g. 1000 both 0.5 and 0.9 load factors round up to 2048).
+	const n = 900
+	build := func(id VariantID) int {
+		s := NewSetOf[int](id, 0)
+		for i := 0; i < n; i++ {
+			s.Add(i)
+		}
+		return s.(Sizer).FootprintBytes()
+	}
+	array := build(ArraySetID)
+	compact := build(CompactHashSetID)
+	openCmp := build(OpenHashSetCmpID)
+	openFast := build(OpenHashSetFastID)
+	chained := build(HashSetID)
+	if !(array < compact) {
+		t.Errorf("ArraySet (%d) should be smaller than CompactHashSet (%d)", array, compact)
+	}
+	if !(compact < chained) {
+		t.Errorf("CompactHashSet (%d) should be smaller than chained HashSet (%d)", compact, chained)
+	}
+	if !(openCmp < openFast) {
+		t.Errorf("compact OpenHashSet (%d) should be smaller than fast OpenHashSet (%d)", openCmp, openFast)
+	}
+	if !(openFast < chained) {
+		t.Errorf("fast OpenHashSet (%d) should be smaller than chained HashSet (%d)", openFast, chained)
+	}
+}
+
+func TestSetStringElements(t *testing.T) {
+	for _, v := range SetVariants[string]() {
+		v := v
+		t.Run(string(v.ID), func(t *testing.T) {
+			s := v.New(0)
+			s.Add("alpha")
+			s.Add("beta")
+			s.Add("alpha")
+			if s.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", s.Len())
+			}
+			if !s.Contains("beta") || s.Contains("gamma") {
+				t.Fatal("Contains misbehaves for strings")
+			}
+			if !s.Remove("alpha") || s.Contains("alpha") {
+				t.Fatal("Remove misbehaves for strings")
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+package collections
+
+import "unsafe"
+
+// sizeOf returns the in-memory size of a value of type T as stored in a
+// slice or struct field (shallow size; referents are not followed). It
+// backs the FootprintBytes estimates of every variant.
+func sizeOf[T any](v T) int { return int(unsafe.Sizeof(v)) }

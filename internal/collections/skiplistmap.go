@@ -1,0 +1,204 @@
+package collections
+
+import (
+	"cmp"
+	"math/bits"
+)
+
+// SkipListMap is a probabilistic ordered map — the (sequential) analogue of
+// JDK ConcurrentSkipListMap. Towers of forward pointers give expected
+// O(log n) point operations with simpler invariants than balanced trees;
+// iteration follows the bottom level in ascending key order.
+type SkipListMap[K cmp.Ordered, V any] struct {
+	head  *slNode[K, V] // sentinel with maximum tower height
+	size  int
+	level int // highest level currently in use (1-based)
+	rng   uint64
+}
+
+const skipListMaxLevel = 24
+
+type slNode[K cmp.Ordered, V any] struct {
+	key  K
+	val  V
+	next []*slNode[K, V]
+}
+
+// NewSkipListMap returns an empty SkipListMap.
+func NewSkipListMap[K cmp.Ordered, V any]() *SkipListMap[K, V] {
+	return &SkipListMap[K, V]{
+		head:  &slNode[K, V]{next: make([]*slNode[K, V], skipListMaxLevel)},
+		level: 1,
+		rng:   0x9e3779b97f4a7c15,
+	}
+}
+
+// nextRand advances the per-instance xorshift state. A private generator
+// keeps instances independent without global rand contention.
+func (m *SkipListMap[K, V]) nextRand() uint64 {
+	x := m.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.rng = x
+	return x
+}
+
+// randomLevel draws a tower height with P(level > k) = 2^-k.
+func (m *SkipListMap[K, V]) randomLevel() int {
+	// The count of trailing zero bits of a uniform word is geometric.
+	lvl := bits.TrailingZeros64(m.nextRand()|1<<(skipListMaxLevel-1)) + 1
+	if lvl > skipListMaxLevel {
+		lvl = skipListMaxLevel
+	}
+	return lvl
+}
+
+// findPredecessors fills path with the rightmost node before k per level.
+func (m *SkipListMap[K, V]) findPredecessors(k K, path *[skipListMaxLevel]*slNode[K, V]) *slNode[K, V] {
+	n := m.head
+	for lvl := m.level - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && n.next[lvl].key < k {
+			n = n.next[lvl]
+		}
+		path[lvl] = n
+	}
+	return n.next[0]
+}
+
+// Put associates k with v, returning the previous value if present.
+func (m *SkipListMap[K, V]) Put(k K, v V) (V, bool) {
+	var path [skipListMaxLevel]*slNode[K, V]
+	candidate := m.findPredecessors(k, &path)
+	if candidate != nil && candidate.key == k {
+		old := candidate.val
+		candidate.val = v
+		return old, true
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for l := m.level; l < lvl; l++ {
+			path[l] = m.head
+		}
+		m.level = lvl
+	}
+	node := &slNode[K, V]{key: k, val: v, next: make([]*slNode[K, V], lvl)}
+	for l := 0; l < lvl; l++ {
+		node.next[l] = path[l].next[l]
+		path[l].next[l] = node
+	}
+	m.size++
+	var zero V
+	return zero, false
+}
+
+// Get returns the value for k and whether it was present.
+func (m *SkipListMap[K, V]) Get(k K) (V, bool) {
+	n := m.head
+	for lvl := m.level - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && n.next[lvl].key < k {
+			n = n.next[lvl]
+		}
+	}
+	n = n.next[0]
+	if n != nil && n.key == k {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Remove deletes the entry for k.
+func (m *SkipListMap[K, V]) Remove(k K) (V, bool) {
+	var path [skipListMaxLevel]*slNode[K, V]
+	candidate := m.findPredecessors(k, &path)
+	var zero V
+	if candidate == nil || candidate.key != k {
+		return zero, false
+	}
+	for l := 0; l < len(candidate.next); l++ {
+		if path[l].next[l] == candidate {
+			path[l].next[l] = candidate.next[l]
+		}
+	}
+	for m.level > 1 && m.head.next[m.level-1] == nil {
+		m.level--
+	}
+	m.size--
+	return candidate.val, true
+}
+
+// ContainsKey reports whether k has an entry.
+func (m *SkipListMap[K, V]) ContainsKey(k K) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Len returns the number of entries.
+func (m *SkipListMap[K, V]) Len() int { return m.size }
+
+// Clear removes all entries.
+func (m *SkipListMap[K, V]) Clear() {
+	m.head = &slNode[K, V]{next: make([]*slNode[K, V], skipListMaxLevel)}
+	m.level = 1
+	m.size = 0
+}
+
+// ForEach calls fn on each entry in ascending key order until fn returns
+// false.
+func (m *SkipListMap[K, V]) ForEach(fn func(K, V) bool) {
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		if !fn(n.key, n.val) {
+			return
+		}
+	}
+}
+
+// MinKey returns the smallest key, if any.
+func (m *SkipListMap[K, V]) MinKey() (K, bool) {
+	if n := m.head.next[0]; n != nil {
+		return n.key, true
+	}
+	var zero K
+	return zero, false
+}
+
+// MaxKey returns the largest key, if any (O(log n) via top-level walk).
+func (m *SkipListMap[K, V]) MaxKey() (K, bool) {
+	n := m.head
+	for lvl := m.level - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil {
+			n = n.next[lvl]
+		}
+	}
+	if n == m.head {
+		var zero K
+		return zero, false
+	}
+	return n.key, true
+}
+
+// Range calls fn on each entry with key in [from, to] ascending until fn
+// returns false.
+func (m *SkipListMap[K, V]) Range(from, to K, fn func(K, V) bool) {
+	n := m.head
+	for lvl := m.level - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && n.next[lvl].key < from {
+			n = n.next[lvl]
+		}
+	}
+	for n = n.next[0]; n != nil && n.key <= to; n = n.next[0] {
+		if !fn(n.key, n.val) {
+			return
+		}
+	}
+}
+
+// FootprintBytes estimates one node (key, value, expected two tower slots)
+// per entry.
+func (m *SkipListMap[K, V]) FootprintBytes() int {
+	var zk K
+	var zv V
+	node := structBase + sizeOf(zk) + sizeOf(zv) + sliceHeader + 2*wordBytes
+	return structBase + skipListMaxLevel*wordBytes + m.size*node
+}

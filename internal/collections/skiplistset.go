@@ -1,0 +1,56 @@
+package collections
+
+import "cmp"
+
+// SkipListSet is the sorted set over SkipListMap, mirroring how JDK
+// ConcurrentSkipListSet wraps ConcurrentSkipListMap.
+type SkipListSet[T cmp.Ordered] struct {
+	m *SkipListMap[T, struct{}]
+}
+
+// NewSkipListSet returns an empty SkipListSet.
+func NewSkipListSet[T cmp.Ordered]() *SkipListSet[T] {
+	return &SkipListSet[T]{m: NewSkipListMap[T, struct{}]()}
+}
+
+// Add inserts v, reporting whether the set changed.
+func (s *SkipListSet[T]) Add(v T) bool {
+	_, present := s.m.Put(v, struct{}{})
+	return !present
+}
+
+// Remove deletes v, reporting whether the set changed.
+func (s *SkipListSet[T]) Remove(v T) bool {
+	_, present := s.m.Remove(v)
+	return present
+}
+
+// Contains reports whether v is in the set.
+func (s *SkipListSet[T]) Contains(v T) bool { return s.m.ContainsKey(v) }
+
+// Len returns the number of elements.
+func (s *SkipListSet[T]) Len() int { return s.m.Len() }
+
+// Clear removes all elements.
+func (s *SkipListSet[T]) Clear() { s.m.Clear() }
+
+// ForEach calls fn on each element in ascending order until fn returns
+// false.
+func (s *SkipListSet[T]) ForEach(fn func(T) bool) {
+	s.m.ForEach(func(k T, _ struct{}) bool { return fn(k) })
+}
+
+// Min returns the smallest element, if any.
+func (s *SkipListSet[T]) Min() (T, bool) { return s.m.MinKey() }
+
+// Max returns the largest element, if any.
+func (s *SkipListSet[T]) Max() (T, bool) { return s.m.MaxKey() }
+
+// Range calls fn on each element in [from, to] ascending until fn returns
+// false.
+func (s *SkipListSet[T]) Range(from, to T, fn func(T) bool) {
+	s.m.Range(from, to, func(k T, _ struct{}) bool { return fn(k) })
+}
+
+// FootprintBytes estimates the backing skip list.
+func (s *SkipListSet[T]) FootprintBytes() int { return structBase + s.m.FootprintBytes() }

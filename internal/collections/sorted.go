@@ -1,0 +1,108 @@
+package collections
+
+import "cmp"
+
+// This file begins the paper's stated future work (Section 7): "a wider set
+// of candidate collections, including concurrent and sorted collections."
+// Sorted variants keep their elements in key order, trading O(log n) (or
+// worse) mutation for ordered iteration and range queries. They satisfy the
+// same Set/Map abstractions — a CollectionSwitch context can adopt them as
+// opt-in candidates (core.NewSetContextWithVariants) — plus the ordered
+// extensions below.
+
+// SortedSet is a Set whose iteration is ascending and which supports
+// ordered queries.
+type SortedSet[T cmp.Ordered] interface {
+	Set[T]
+	// Min returns the smallest element, if any.
+	Min() (T, bool)
+	// Max returns the largest element, if any.
+	Max() (T, bool)
+	// Range calls fn on each element in [from, to] in ascending order
+	// until fn returns false.
+	Range(from, to T, fn func(T) bool)
+}
+
+// SortedMap is a Map whose iteration is in ascending key order and which
+// supports ordered queries.
+type SortedMap[K cmp.Ordered, V any] interface {
+	Map[K, V]
+	// MinKey returns the smallest key, if any.
+	MinKey() (K, bool)
+	// MaxKey returns the largest key, if any.
+	MaxKey() (K, bool)
+	// Range calls fn on each entry with key in [from, to] in ascending
+	// order until fn returns false.
+	Range(from, to K, fn func(K, V) bool)
+}
+
+// Sorted variant IDs (future-work extension of Table 2).
+const (
+	AVLTreeSetID     VariantID = "set/avltree"     // JDK TreeSet analogue
+	SkipListSetID    VariantID = "set/skiplist"    // ConcurrentSkipListSet analogue (sequential form)
+	SortedArraySetID VariantID = "set/sortedarray" // binary-searched flat set
+	AVLTreeMapID     VariantID = "map/avltree"
+	SkipListMapID    VariantID = "map/skiplist"
+	SortedArrayMapID VariantID = "map/sortedarray"
+)
+
+// Concurrent variant IDs (future-work extension of Table 2).
+const (
+	SyncSetID    VariantID = "set/sync"    // Collections.synchronizedSet analogue
+	SyncMapID    VariantID = "map/sync"    // Collections.synchronizedMap analogue
+	ShardedMapID VariantID = "map/sharded" // ConcurrentHashMap analogue (lock striping)
+)
+
+// ExtensionVariantInfos returns the inventory of the future-work variants,
+// in the same format as AllVariantInfos (which intentionally stays limited
+// to the paper's Table 2).
+func ExtensionVariantInfos() []VariantInfo {
+	return []VariantInfo{
+		{AVLTreeSetID, SetAbstraction, "JDK TreeSet", "AVL-balanced search tree, ordered iteration"},
+		{SkipListSetID, SetAbstraction, "JDK ConcurrentSkipListSet", "Skip list, ordered iteration"},
+		{SortedArraySetID, SetAbstraction, "—", "Sorted array, binary search, ordered iteration"},
+		{AVLTreeMapID, MapAbstraction, "JDK TreeMap", "AVL-balanced search tree map"},
+		{SkipListMapID, MapAbstraction, "JDK ConcurrentSkipListMap", "Skip list map"},
+		{SortedArrayMapID, MapAbstraction, "—", "Sorted parallel arrays, binary search"},
+		{SyncSetID, SetAbstraction, "Collections.synchronizedSet", "Mutex-guarded open-hash set"},
+		{SyncMapID, MapAbstraction, "Collections.synchronizedMap", "Mutex-guarded open-hash map"},
+		{ShardedMapID, MapAbstraction, "JDK ConcurrentHashMap", "Lock-striped sharded hash map"},
+	}
+}
+
+// SortedSetVariants returns factories for the sorted set variants. They are
+// opt-in candidates: pass them to core.NewSetContextWithVariants alongside
+// (or instead of) the default SetVariants.
+func SortedSetVariants[T cmp.Ordered]() []SetVariant[T] {
+	return []SetVariant[T]{
+		{AVLTreeSetID, func(int) Set[T] { return NewAVLTreeSet[T]() }},
+		{SkipListSetID, func(int) Set[T] { return NewSkipListSet[T]() }},
+		{SortedArraySetID, func(c int) Set[T] { return NewSortedArraySetCap[T](c) }},
+	}
+}
+
+// SortedMapVariants returns factories for the sorted map variants.
+func SortedMapVariants[K cmp.Ordered, V any]() []MapVariant[K, V] {
+	return []MapVariant[K, V]{
+		{AVLTreeMapID, func(int) Map[K, V] { return NewAVLTreeMap[K, V]() }},
+		{SkipListMapID, func(int) Map[K, V] { return NewSkipListMap[K, V]() }},
+		{SortedArrayMapID, func(c int) Map[K, V] { return NewSortedArrayMapCap[K, V](c) }},
+	}
+}
+
+// ConcurrentSetVariants returns factories for the concurrency-safe set
+// variants (opt-in candidates).
+func ConcurrentSetVariants[T comparable]() []SetVariant[T] {
+	return []SetVariant[T]{
+		{SyncSetID, func(c int) Set[T] { return NewSyncSet[T](c) }},
+	}
+}
+
+// ConcurrentMapVariants returns factories for the concurrency-safe map
+// variants (opt-in candidates).
+func ConcurrentMapVariants[K comparable, V any]() []MapVariant[K, V] {
+	return []MapVariant[K, V]{
+		{SyncMapID, func(c int) Map[K, V] { return NewSyncMap[K, V](c) }},
+		{ShardedMapID, func(c int) Map[K, V] { return NewShardedMap[K, V](c) }},
+	}
+}

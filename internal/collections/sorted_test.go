@@ -1,0 +1,339 @@
+package collections
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// forEachSortedSet runs fn for every sorted set variant.
+func forEachSortedSet(t *testing.T, fn func(t *testing.T, newSet func() SortedSet[int])) {
+	t.Helper()
+	impls := map[string]func() SortedSet[int]{
+		"avltree":     func() SortedSet[int] { return NewAVLTreeSet[int]() },
+		"skiplist":    func() SortedSet[int] { return NewSkipListSet[int]() },
+		"sortedarray": func() SortedSet[int] { return NewSortedArraySet[int]() },
+	}
+	for name, mk := range impls {
+		mk := mk
+		t.Run(name, func(t *testing.T) { fn(t, mk) })
+	}
+}
+
+// forEachSortedMap runs fn for every sorted map variant.
+func forEachSortedMap(t *testing.T, fn func(t *testing.T, newMap func() SortedMap[int, string])) {
+	t.Helper()
+	impls := map[string]func() SortedMap[int, string]{
+		"avltree":     func() SortedMap[int, string] { return NewAVLTreeMap[int, string]() },
+		"skiplist":    func() SortedMap[int, string] { return NewSkipListMap[int, string]() },
+		"sortedarray": func() SortedMap[int, string] { return NewSortedArrayMap[int, string]() },
+	}
+	for name, mk := range impls {
+		mk := mk
+		t.Run(name, func(t *testing.T) { fn(t, mk) })
+	}
+}
+
+func TestSortedSetAscendingIteration(t *testing.T) {
+	forEachSortedSet(t, func(t *testing.T, newSet func() SortedSet[int]) {
+		s := newSet()
+		r := rand.New(rand.NewSource(5))
+		for _, v := range r.Perm(500) {
+			s.Add(v)
+		}
+		if s.Len() != 500 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+		prev := -1
+		count := 0
+		s.ForEach(func(v int) bool {
+			if v <= prev {
+				t.Fatalf("iteration not ascending: %d after %d", v, prev)
+			}
+			prev = v
+			count++
+			return true
+		})
+		if count != 500 {
+			t.Fatalf("iterated %d of 500", count)
+		}
+	})
+}
+
+func TestSortedSetMinMax(t *testing.T) {
+	forEachSortedSet(t, func(t *testing.T, newSet func() SortedSet[int]) {
+		s := newSet()
+		if _, ok := s.Min(); ok {
+			t.Fatal("Min on empty set reported a value")
+		}
+		if _, ok := s.Max(); ok {
+			t.Fatal("Max on empty set reported a value")
+		}
+		for _, v := range []int{42, 7, 99, 7, -3, 55} {
+			s.Add(v)
+		}
+		if min, ok := s.Min(); !ok || min != -3 {
+			t.Fatalf("Min = %d, %v", min, ok)
+		}
+		if max, ok := s.Max(); !ok || max != 99 {
+			t.Fatalf("Max = %d, %v", max, ok)
+		}
+		s.Remove(-3)
+		s.Remove(99)
+		if min, _ := s.Min(); min != 7 {
+			t.Fatalf("Min after removals = %d", min)
+		}
+		if max, _ := s.Max(); max != 55 {
+			t.Fatalf("Max after removals = %d", max)
+		}
+	})
+}
+
+func TestSortedSetRange(t *testing.T) {
+	forEachSortedSet(t, func(t *testing.T, newSet func() SortedSet[int]) {
+		s := newSet()
+		for v := 0; v < 100; v += 2 { // evens 0..98
+			s.Add(v)
+		}
+		var got []int
+		s.Range(11, 25, func(v int) bool {
+			got = append(got, v)
+			return true
+		})
+		want := []int{12, 14, 16, 18, 20, 22, 24}
+		if len(got) != len(want) {
+			t.Fatalf("Range(11,25) = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Range(11,25) = %v, want %v", got, want)
+			}
+		}
+		// Inclusive bounds.
+		got = got[:0]
+		s.Range(10, 12, func(v int) bool { got = append(got, v); return true })
+		if len(got) != 2 || got[0] != 10 || got[1] != 12 {
+			t.Fatalf("inclusive Range = %v", got)
+		}
+		// Early stop.
+		count := 0
+		s.Range(0, 98, func(int) bool {
+			count++
+			return count < 3
+		})
+		if count != 3 {
+			t.Fatalf("early-stopped Range visited %d", count)
+		}
+		// Empty interval.
+		s.Range(51, 51, func(v int) bool {
+			t.Fatalf("Range(51,51) yielded %d", v)
+			return true
+		})
+	})
+}
+
+func TestSortedSetAsPlainSet(t *testing.T) {
+	// Sorted sets must satisfy the ordinary Set contract, including
+	// oracle-checked random scripts.
+	impls := map[string]func() Set[int]{
+		"avltree":     func() Set[int] { return NewAVLTreeSet[int]() },
+		"skiplist":    func() Set[int] { return NewSkipListSet[int]() },
+		"sortedarray": func() Set[int] { return NewSortedArraySet[int]() },
+	}
+	for name, mk := range impls {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			f := func(script opScript) bool {
+				runSetScript(t, VariantID(name), mk(), script)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSortedMapAscendingAndRange(t *testing.T) {
+	forEachSortedMap(t, func(t *testing.T, newMap func() SortedMap[int, string]) {
+		m := newMap()
+		r := rand.New(rand.NewSource(9))
+		for _, k := range r.Perm(300) {
+			m.Put(k, "v")
+		}
+		prev := -1
+		m.ForEach(func(k int, _ string) bool {
+			if k <= prev {
+				t.Fatalf("keys not ascending: %d after %d", k, prev)
+			}
+			prev = k
+			return true
+		})
+		if min, ok := m.MinKey(); !ok || min != 0 {
+			t.Fatalf("MinKey = %d, %v", min, ok)
+		}
+		if max, ok := m.MaxKey(); !ok || max != 299 {
+			t.Fatalf("MaxKey = %d, %v", max, ok)
+		}
+		var keys []int
+		m.Range(100, 104, func(k int, _ string) bool {
+			keys = append(keys, k)
+			return true
+		})
+		if len(keys) != 5 || keys[0] != 100 || keys[4] != 104 {
+			t.Fatalf("Range(100,104) keys = %v", keys)
+		}
+	})
+}
+
+func TestSortedMapAsPlainMap(t *testing.T) {
+	impls := map[string]func() Map[int, int]{
+		"avltree":     func() Map[int, int] { return NewAVLTreeMap[int, int]() },
+		"skiplist":    func() Map[int, int] { return NewSkipListMap[int, int]() },
+		"sortedarray": func() Map[int, int] { return NewSortedArrayMap[int, int]() },
+	}
+	for name, mk := range impls {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			f := func(script opScript) bool {
+				runMapScript(t, VariantID(name), mk(), script)
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAVLBalanceInvariant(t *testing.T) {
+	m := NewAVLTreeMap[int, int]()
+	// Sequential insertion is the worst case for unbalanced BSTs.
+	const n = 1 << 12
+	for i := 0; i < n; i++ {
+		m.Put(i, i)
+	}
+	// AVL height bound: 1.44*log2(n+2). For n=4096: ~18.7.
+	if h := m.heightOf(); h > 19 {
+		t.Fatalf("AVL height %d exceeds bound for %d sequential keys", h, n)
+	}
+	// Delete half and re-check.
+	for i := 0; i < n; i += 2 {
+		if _, ok := m.Remove(i); !ok {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", m.Len(), n/2)
+	}
+	if h := m.heightOf(); h > 19 {
+		t.Fatalf("AVL height %d after deletions", h)
+	}
+	checkAVL(t, m.root)
+}
+
+// checkAVL verifies order and balance recursively.
+func checkAVL(t *testing.T, n *avlNode[int, int]) (min, max, h int) {
+	t.Helper()
+	if n == nil {
+		return 0, 0, 0
+	}
+	lh, rh := 0, 0
+	if n.left != nil {
+		lmin, lmax, lhh := checkAVL(t, n.left)
+		if lmax >= n.key {
+			t.Fatalf("BST order violated at %d (left max %d)", n.key, lmax)
+		}
+		lh = lhh
+		min = lmin
+	} else {
+		min = n.key
+	}
+	if n.right != nil {
+		rmin, rmax, rhh := checkAVL(t, n.right)
+		if rmin <= n.key {
+			t.Fatalf("BST order violated at %d (right min %d)", n.key, rmin)
+		}
+		rh = rhh
+		max = rmax
+	} else {
+		max = n.key
+	}
+	if d := lh - rh; d < -1 || d > 1 {
+		t.Fatalf("AVL balance violated at %d: %d vs %d", n.key, lh, rh)
+	}
+	h = max2(lh, rh) + 1
+	if int(n.height) != h {
+		t.Fatalf("cached height wrong at %d: %d vs %d", n.key, n.height, h)
+	}
+	return min, max, h
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSkipListLevelsShrink(t *testing.T) {
+	m := NewSkipListMap[int, int]()
+	for i := 0; i < 10000; i++ {
+		m.Put(i, i)
+	}
+	grown := m.level
+	if grown < 5 {
+		t.Fatalf("level after 10k inserts = %d, expected towers to grow", grown)
+	}
+	for i := 0; i < 10000; i++ {
+		m.Remove(i)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after removing everything", m.Len())
+	}
+	if m.level != 1 {
+		t.Fatalf("level after emptying = %d, want 1", m.level)
+	}
+}
+
+func TestSortedVariantRegistries(t *testing.T) {
+	if got := len(SortedSetVariants[int]()); got != 3 {
+		t.Fatalf("sorted set variants = %d", got)
+	}
+	if got := len(SortedMapVariants[int, int]()); got != 3 {
+		t.Fatalf("sorted map variants = %d", got)
+	}
+	infos := ExtensionVariantInfos()
+	if len(infos) != 9 {
+		t.Fatalf("extension infos = %d, want 9", len(infos))
+	}
+	// Extension variants must construct and satisfy Sizer.
+	for _, v := range SortedSetVariants[int]() {
+		s := v.New(8)
+		s.Add(1)
+		if _, ok := s.(Sizer); !ok {
+			t.Errorf("%s does not implement Sizer", v.ID)
+		}
+	}
+	for _, v := range SortedMapVariants[int, int]() {
+		m := v.New(8)
+		m.Put(1, 1)
+		if _, ok := m.(Sizer); !ok {
+			t.Errorf("%s does not implement Sizer", v.ID)
+		}
+	}
+}
+
+func TestSortedArrayVsHashFootprint(t *testing.T) {
+	// The sorted array's selling point: tree-level lookups at array-level
+	// footprint.
+	sa := NewSortedArraySet[int]()
+	avl := NewAVLTreeSet[int]()
+	for i := 0; i < 1000; i++ {
+		sa.Add(i)
+		avl.Add(i)
+	}
+	if sa.FootprintBytes() >= avl.FootprintBytes() {
+		t.Fatalf("sorted array footprint %d >= AVL %d", sa.FootprintBytes(), avl.FootprintBytes())
+	}
+}

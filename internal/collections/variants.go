@@ -1,0 +1,188 @@
+package collections
+
+import "fmt"
+
+// VariantID names a collection implementation variant. IDs are stable: they
+// key the performance models, the selection engine's candidate lists and the
+// transition logs, and appear verbatim in experiment output.
+type VariantID string
+
+// List variants (paper Table 2, Lists section).
+const (
+	ArrayListID     VariantID = "list/array"     // JDK ArrayList analogue
+	LinkedListID    VariantID = "list/linked"    // JDK LinkedList analogue
+	HashArrayListID VariantID = "list/hasharray" // the paper's Switch variant
+	AdaptiveListID  VariantID = "list/adaptive"  // array → hash
+)
+
+// Set variants (paper Table 2, Sets section).
+const (
+	HashSetID         VariantID = "set/hash"              // JDK chained HashSet analogue
+	OpenHashSetFastID VariantID = "set/openhash-fast"     // Koloboke analogue
+	OpenHashSetBalID  VariantID = "set/openhash-balanced" // Eclipse Collections analogue
+	OpenHashSetCmpID  VariantID = "set/openhash-compact"  // fastutil analogue
+	LinkedHashSetID   VariantID = "set/linkedhash"        // JDK LinkedHashSet analogue
+	ArraySetID        VariantID = "set/array"             // Google/NLP ArraySet analogue
+	CompactHashSetID  VariantID = "set/compacthash"       // VLSI CompactHashSet analogue
+	AdaptiveSetID     VariantID = "set/adaptive"          // array → openhash
+)
+
+// Map variants (paper Table 2, Maps section).
+const (
+	HashMapID         VariantID = "map/hash"
+	OpenHashMapFastID VariantID = "map/openhash-fast"
+	OpenHashMapBalID  VariantID = "map/openhash-balanced"
+	OpenHashMapCmpID  VariantID = "map/openhash-compact"
+	LinkedHashMapID   VariantID = "map/linkedhash"
+	ArrayMapID        VariantID = "map/array"
+	CompactHashMapID  VariantID = "map/compacthash"
+	AdaptiveMapID     VariantID = "map/adaptive"
+)
+
+// Abstraction names a collection abstraction type.
+type Abstraction string
+
+// The three abstractions considered by the paper.
+const (
+	ListAbstraction Abstraction = "list"
+	SetAbstraction  Abstraction = "set"
+	MapAbstraction  Abstraction = "map"
+)
+
+// VariantInfo describes a variant for reports (paper Table 2).
+type VariantInfo struct {
+	ID          VariantID
+	Abstraction Abstraction
+	Analogue    string // the Java library the paper drew this variant from
+	Description string
+}
+
+// AllVariantInfos returns the full variant inventory in Table 2 order.
+func AllVariantInfos() []VariantInfo {
+	return []VariantInfo{
+		{ArrayListID, ListAbstraction, "JDK", "Array-backed list"},
+		{LinkedListID, ListAbstraction, "JDK", "Double-linked list"},
+		{HashArrayListID, ListAbstraction, "Switch", "ArrayList + HashBag for faster lookups"},
+		{AdaptiveListID, ListAbstraction, "JDK -> Switch", "ArrayList on small sizes, HashArrayList on large sizes"},
+
+		{HashSetID, SetAbstraction, "JDK", "Chained hash-backed set"},
+		{OpenHashSetFastID, SetAbstraction, "Koloboke", "Open-address hash set, load 0.50 (speed preset)"},
+		{OpenHashSetBalID, SetAbstraction, "Eclipse", "Open-address hash set, load 0.75 (balanced preset)"},
+		{OpenHashSetCmpID, SetAbstraction, "FastUtil", "Open-address hash set, load 0.90 (memory preset)"},
+		{LinkedHashSetID, SetAbstraction, "JDK", "Chained hash set with double-linked entries"},
+		{ArraySetID, SetAbstraction, "Google/NLP", "Array-backed set, linear membership"},
+		{CompactHashSetID, SetAbstraction, "VLSI", "Dense hash set for high memory efficiency"},
+		{AdaptiveSetID, SetAbstraction, "NLP/Google -> Koloboke", "Array-backed on small sizes, hash-backed on large sizes"},
+
+		{HashMapID, MapAbstraction, "JDK", "Chained hash-backed map"},
+		{OpenHashMapFastID, MapAbstraction, "Koloboke", "Open-address hash map, load 0.50 (speed preset)"},
+		{OpenHashMapBalID, MapAbstraction, "Eclipse", "Open-address hash map, load 0.75 (balanced preset)"},
+		{OpenHashMapCmpID, MapAbstraction, "FastUtil", "Open-address hash map, load 0.90 (memory preset)"},
+		{LinkedHashMapID, MapAbstraction, "JDK", "Chained hash map with double-linked entries"},
+		{ArrayMapID, MapAbstraction, "Google/NLP", "Array-backed map, linear key search"},
+		{CompactHashMapID, MapAbstraction, "VLSI", "Dense hash map for high memory efficiency"},
+		{AdaptiveMapID, MapAbstraction, "NLP/Google -> Koloboke", "Array-backed on small sizes, hash-backed on large sizes"},
+	}
+}
+
+// AbstractionOf returns the abstraction a variant implements.
+func AbstractionOf(id VariantID) Abstraction {
+	for _, info := range AllVariantInfos() {
+		if info.ID == id {
+			return info.Abstraction
+		}
+	}
+	panic(fmt.Sprintf("collections: unknown variant %q", id))
+}
+
+// IsAdaptive reports whether id names one of the adaptive variants.
+func IsAdaptive(id VariantID) bool {
+	return id == AdaptiveListID || id == AdaptiveSetID || id == AdaptiveMapID
+}
+
+// ListVariant couples a variant ID with its factory for element type T.
+type ListVariant[T comparable] struct {
+	ID VariantID
+	// New returns an empty list; capHint (possibly 0) pre-sizes it.
+	New func(capHint int) List[T]
+}
+
+// SetVariant couples a variant ID with its factory for element type T.
+type SetVariant[T comparable] struct {
+	ID  VariantID
+	New func(capHint int) Set[T]
+}
+
+// MapVariant couples a variant ID with its factory for key/value types K, V.
+type MapVariant[K comparable, V any] struct {
+	ID  VariantID
+	New func(capHint int) Map[K, V]
+}
+
+// ListVariants returns factories for every list variant.
+func ListVariants[T comparable]() []ListVariant[T] {
+	return []ListVariant[T]{
+		{ArrayListID, func(c int) List[T] { return NewArrayListCap[T](c) }},
+		{LinkedListID, func(int) List[T] { return NewLinkedList[T]() }},
+		{HashArrayListID, func(int) List[T] { return NewHashArrayList[T]() }},
+		{AdaptiveListID, func(int) List[T] { return NewAdaptiveList[T]() }},
+	}
+}
+
+// SetVariants returns factories for every set variant.
+func SetVariants[T comparable]() []SetVariant[T] {
+	return []SetVariant[T]{
+		{HashSetID, func(c int) Set[T] { return NewHashSetCap[T](c) }},
+		{OpenHashSetFastID, func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenFast, c) }},
+		{OpenHashSetBalID, func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenBalanced, c) }},
+		{OpenHashSetCmpID, func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenCompact, c) }},
+		{LinkedHashSetID, func(c int) Set[T] { return NewLinkedHashSetCap[T](c) }},
+		{ArraySetID, func(c int) Set[T] { return NewArraySetCap[T](c) }},
+		{CompactHashSetID, func(c int) Set[T] { return NewCompactHashSetCap[T](c) }},
+		{AdaptiveSetID, func(int) Set[T] { return NewAdaptiveSet[T]() }},
+	}
+}
+
+// MapVariants returns factories for every map variant.
+func MapVariants[K comparable, V any]() []MapVariant[K, V] {
+	return []MapVariant[K, V]{
+		{HashMapID, func(c int) Map[K, V] { return NewHashMapCap[K, V](c) }},
+		{OpenHashMapFastID, func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenFast, c) }},
+		{OpenHashMapBalID, func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenBalanced, c) }},
+		{OpenHashMapCmpID, func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenCompact, c) }},
+		{LinkedHashMapID, func(c int) Map[K, V] { return NewLinkedHashMapCap[K, V](c) }},
+		{ArrayMapID, func(c int) Map[K, V] { return NewArrayMapCap[K, V](c) }},
+		{CompactHashMapID, func(c int) Map[K, V] { return NewCompactHashMapCap[K, V](c) }},
+		{AdaptiveMapID, func(int) Map[K, V] { return NewAdaptiveMap[K, V]() }},
+	}
+}
+
+// NewListOf instantiates a list variant by ID.
+func NewListOf[T comparable](id VariantID, capHint int) List[T] {
+	for _, v := range ListVariants[T]() {
+		if v.ID == id {
+			return v.New(capHint)
+		}
+	}
+	panic(fmt.Sprintf("collections: unknown list variant %q", id))
+}
+
+// NewSetOf instantiates a set variant by ID.
+func NewSetOf[T comparable](id VariantID, capHint int) Set[T] {
+	for _, v := range SetVariants[T]() {
+		if v.ID == id {
+			return v.New(capHint)
+		}
+	}
+	panic(fmt.Sprintf("collections: unknown set variant %q", id))
+}
+
+// NewMapOf instantiates a map variant by ID.
+func NewMapOf[K comparable, V any](id VariantID, capHint int) Map[K, V] {
+	for _, v := range MapVariants[K, V]() {
+		if v.ID == id {
+			return v.New(capHint)
+		}
+	}
+	panic(fmt.Sprintf("collections: unknown map variant %q", id))
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"time"
+	"weak"
+
+	"repro/internal/collections"
+)
+
+// This file implements the adaptive allocation contexts of Section 4.3 for
+// the three abstractions. The three types are structurally identical —
+// Go generics cannot abstract over the differing method sets of List, Set
+// and Map — but all selection logic is shared through costAgg and decide.
+
+// listRecord tracks one monitored list instance: a weak pointer to the
+// monitor (so the context never keeps the collection alive — the paper's
+// WeakReference technique) and a strong pointer to its profile.
+type listRecord[T comparable] struct {
+	ref    weak.Pointer[monitoredList[T]]
+	p      *profile
+	folded bool
+}
+
+// ListContext is an adaptive allocation context for lists. Create it once
+// per allocation site (typically in a package-level variable — the paper's
+// "static context") and obtain collections through NewList.
+type ListContext[T comparable] struct {
+	e    *Engine
+	name string
+
+	factories map[collections.VariantID]func(int) collections.List[T]
+
+	// The following are guarded by the engine-independent context lock
+	// embedded in the analyze/create paths.
+	mu       sync.Mutex
+	current  collections.VariantID
+	window   []*listRecord[T]
+	agg      *costAgg
+	round    int
+	cooldown int // unmonitored creations remaining before the next round
+}
+
+// NewListContext registers a list allocation context with the engine. The
+// default variant is ArrayList (the JDK-dominant choice reported by the
+// paper's empirical study) unless overridden with WithDefaultVariant.
+func NewListContext[T comparable](e *Engine, opts ...Option) *ListContext[T] {
+	ids := make([]collections.VariantID, 0, 4)
+	factories := make(map[collections.VariantID]func(int) collections.List[T])
+	for _, v := range collections.ListVariants[T]() {
+		ids = append(ids, v.ID)
+		factories[v.ID] = v.New
+	}
+	o := resolveOptions(opts, collections.ArrayListID, ids, 2)
+	candidates := filterKnown(o.candidates, factories)
+	c := &ListContext[T]{
+		e:         e,
+		name:      o.name,
+		factories: factories,
+		current:   o.defaultVar,
+		agg:       newCostAgg(e.cfg.Models, candidates),
+	}
+	if _, ok := factories[o.defaultVar]; !ok {
+		panic("core: unknown default list variant " + string(o.defaultVar))
+	}
+	e.register(c)
+	return c
+}
+
+// NewList returns a list of the context's current variant. The first
+// WindowSize instances of each monitoring round are wrapped in monitors.
+func (c *ListContext[T]) NewList() collections.List[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inner := c.factories[c.current](0)
+	if c.cooldown > 0 {
+		c.cooldown--
+		return inner
+	}
+	if len(c.window) < c.e.cfg.WindowSize {
+		p := &profile{}
+		m := &monitoredList[T]{inner: inner, p: p}
+		c.window = append(c.window, &listRecord[T]{ref: weak.Make(m), p: p})
+		return m
+	}
+	return inner
+}
+
+// CurrentVariant returns the variant future instantiations will use.
+func (c *ListContext[T]) CurrentVariant() collections.VariantID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.current
+}
+
+// Round returns the number of completed analysis rounds.
+func (c *ListContext[T]) Round() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// Name returns the context's site label.
+func (c *ListContext[T]) Name() string { return c.name }
+
+func (c *ListContext[T]) contextName() string { return c.name }
+
+// analyze folds finished instances and, when the window is complete and the
+// finished ratio reached, applies the selection rule (Sections 3.1, 4.3).
+func (c *ListContext[T]) analyze() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.window {
+		if !r.folded && r.ref.Value() == nil {
+			c.agg.fold(r.p.snapshot())
+			r.folded = true
+		}
+	}
+	if len(c.window) < c.e.cfg.WindowSize {
+		return
+	}
+	if c.agg.folded < neededFolds(c.e.cfg) {
+		return
+	}
+	// Decision time: use the whole set of metrics, including instances
+	// still alive (the paper folds all collected metrics; the finished
+	// ratio only gates when the analysis may run).
+	for _, r := range c.window {
+		if !r.folded {
+			c.agg.fold(r.p.snapshot())
+			r.folded = true
+		}
+	}
+	if d := decide(c.agg, c.current, c.e.cfg.Rule, c.e.cfg.AdaptiveSizeSpread, collections.DefaultListThreshold); d.ok {
+		c.e.logTransition(Transition{
+			Context: c.name, From: c.current, To: d.switchTo,
+			Round: c.round, Ratios: d.ratios, When: time.Now(),
+		})
+		c.current = d.switchTo
+	}
+	c.window = c.window[:0]
+	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
+	c.round++
+	c.cooldown = int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
+	c.e.logf("round %d complete at %s (variant %s)", c.round, c.name, c.current)
+}
+
+// setRecord tracks one monitored set instance.
+type setRecord[T comparable] struct {
+	ref    weak.Pointer[monitoredSet[T]]
+	p      *profile
+	folded bool
+}
+
+// SetContext is an adaptive allocation context for sets.
+type SetContext[T comparable] struct {
+	e    *Engine
+	name string
+
+	factories map[collections.VariantID]func(int) collections.Set[T]
+
+	mu       sync.Mutex
+	current  collections.VariantID
+	window   []*setRecord[T]
+	agg      *costAgg
+	round    int
+	cooldown int
+}
+
+// NewSetContext registers a set allocation context with the engine; the
+// default variant is the chained HashSet.
+func NewSetContext[T comparable](e *Engine, opts ...Option) *SetContext[T] {
+	ids := make([]collections.VariantID, 0, 8)
+	factories := make(map[collections.VariantID]func(int) collections.Set[T])
+	for _, v := range collections.SetVariants[T]() {
+		ids = append(ids, v.ID)
+		factories[v.ID] = v.New
+	}
+	o := resolveOptions(opts, collections.HashSetID, ids, 2)
+	candidates := filterKnown(o.candidates, factories)
+	c := &SetContext[T]{
+		e:         e,
+		name:      o.name,
+		factories: factories,
+		current:   o.defaultVar,
+		agg:       newCostAgg(e.cfg.Models, candidates),
+	}
+	if _, ok := factories[o.defaultVar]; !ok {
+		panic("core: unknown default set variant " + string(o.defaultVar))
+	}
+	e.register(c)
+	return c
+}
+
+// NewSet returns a set of the context's current variant, monitored while
+// the window has room.
+func (c *SetContext[T]) NewSet() collections.Set[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inner := c.factories[c.current](0)
+	if c.cooldown > 0 {
+		c.cooldown--
+		return inner
+	}
+	if len(c.window) < c.e.cfg.WindowSize {
+		p := &profile{}
+		m := &monitoredSet[T]{inner: inner, p: p}
+		c.window = append(c.window, &setRecord[T]{ref: weak.Make(m), p: p})
+		return m
+	}
+	return inner
+}
+
+// CurrentVariant returns the variant future instantiations will use.
+func (c *SetContext[T]) CurrentVariant() collections.VariantID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.current
+}
+
+// Round returns the number of completed analysis rounds.
+func (c *SetContext[T]) Round() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// Name returns the context's site label.
+func (c *SetContext[T]) Name() string { return c.name }
+
+func (c *SetContext[T]) contextName() string { return c.name }
+
+func (c *SetContext[T]) analyze() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.window {
+		if !r.folded && r.ref.Value() == nil {
+			c.agg.fold(r.p.snapshot())
+			r.folded = true
+		}
+	}
+	if len(c.window) < c.e.cfg.WindowSize {
+		return
+	}
+	if c.agg.folded < neededFolds(c.e.cfg) {
+		return
+	}
+	for _, r := range c.window {
+		if !r.folded {
+			c.agg.fold(r.p.snapshot())
+			r.folded = true
+		}
+	}
+	if d := decide(c.agg, c.current, c.e.cfg.Rule, c.e.cfg.AdaptiveSizeSpread, collections.DefaultSetThreshold); d.ok {
+		c.e.logTransition(Transition{
+			Context: c.name, From: c.current, To: d.switchTo,
+			Round: c.round, Ratios: d.ratios, When: time.Now(),
+		})
+		c.current = d.switchTo
+	}
+	c.window = c.window[:0]
+	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
+	c.round++
+	c.cooldown = int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
+	c.e.logf("round %d complete at %s (variant %s)", c.round, c.name, c.current)
+}
+
+// mapRecord tracks one monitored map instance.
+type mapRecord[K comparable, V any] struct {
+	ref    weak.Pointer[monitoredMap[K, V]]
+	p      *profile
+	folded bool
+}
+
+// MapContext is an adaptive allocation context for maps.
+type MapContext[K comparable, V any] struct {
+	e    *Engine
+	name string
+
+	factories map[collections.VariantID]func(int) collections.Map[K, V]
+
+	mu       sync.Mutex
+	current  collections.VariantID
+	window   []*mapRecord[K, V]
+	agg      *costAgg
+	round    int
+	cooldown int
+}
+
+// NewMapContext registers a map allocation context with the engine; the
+// default variant is the chained HashMap.
+func NewMapContext[K comparable, V any](e *Engine, opts ...Option) *MapContext[K, V] {
+	ids := make([]collections.VariantID, 0, 8)
+	factories := make(map[collections.VariantID]func(int) collections.Map[K, V])
+	for _, v := range collections.MapVariants[K, V]() {
+		ids = append(ids, v.ID)
+		factories[v.ID] = v.New
+	}
+	o := resolveOptions(opts, collections.HashMapID, ids, 2)
+	candidates := filterKnown(o.candidates, factories)
+	c := &MapContext[K, V]{
+		e:         e,
+		name:      o.name,
+		factories: factories,
+		current:   o.defaultVar,
+		agg:       newCostAgg(e.cfg.Models, candidates),
+	}
+	if _, ok := factories[o.defaultVar]; !ok {
+		panic("core: unknown default map variant " + string(o.defaultVar))
+	}
+	e.register(c)
+	return c
+}
+
+// NewMap returns a map of the context's current variant, monitored while
+// the window has room.
+func (c *MapContext[K, V]) NewMap() collections.Map[K, V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inner := c.factories[c.current](0)
+	if c.cooldown > 0 {
+		c.cooldown--
+		return inner
+	}
+	if len(c.window) < c.e.cfg.WindowSize {
+		p := &profile{}
+		m := &monitoredMap[K, V]{inner: inner, p: p}
+		c.window = append(c.window, &mapRecord[K, V]{ref: weak.Make(m), p: p})
+		return m
+	}
+	return inner
+}
+
+// CurrentVariant returns the variant future instantiations will use.
+func (c *MapContext[K, V]) CurrentVariant() collections.VariantID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.current
+}
+
+// Round returns the number of completed analysis rounds.
+func (c *MapContext[K, V]) Round() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// Name returns the context's site label.
+func (c *MapContext[K, V]) Name() string { return c.name }
+
+func (c *MapContext[K, V]) contextName() string { return c.name }
+
+func (c *MapContext[K, V]) analyze() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.window {
+		if !r.folded && r.ref.Value() == nil {
+			c.agg.fold(r.p.snapshot())
+			r.folded = true
+		}
+	}
+	if len(c.window) < c.e.cfg.WindowSize {
+		return
+	}
+	if c.agg.folded < neededFolds(c.e.cfg) {
+		return
+	}
+	for _, r := range c.window {
+		if !r.folded {
+			c.agg.fold(r.p.snapshot())
+			r.folded = true
+		}
+	}
+	if d := decide(c.agg, c.current, c.e.cfg.Rule, c.e.cfg.AdaptiveSizeSpread, collections.DefaultMapThreshold); d.ok {
+		c.e.logTransition(Transition{
+			Context: c.name, From: c.current, To: d.switchTo,
+			Round: c.round, Ratios: d.ratios, When: time.Now(),
+		})
+		c.current = d.switchTo
+	}
+	c.window = c.window[:0]
+	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
+	c.round++
+	c.cooldown = int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
+	c.e.logf("round %d complete at %s (variant %s)", c.round, c.name, c.current)
+}
+
+// neededFolds converts the finished ratio into an instance count.
+func neededFolds(cfg Config) int {
+	return int(math.Ceil(cfg.FinishedRatio * float64(cfg.WindowSize)))
+}
+
+// filterKnown drops candidate IDs that have no factory (e.g. a map variant
+// ID passed to a list context).
+func filterKnown[F any](ids []collections.VariantID, factories map[collections.VariantID]F) []collections.VariantID {
+	out := make([]collections.VariantID, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := factories[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

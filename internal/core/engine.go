@@ -1,0 +1,229 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/collections"
+	"repro/internal/perfmodel"
+)
+
+// sharedDefaultModels builds the default performance models once per
+// process: every engine without explicit models reads the same instance
+// (Models are concurrency-safe after construction), keeping the framework's
+// fixed memory overhead independent of how many engines run.
+var sharedDefaultModels = sync.OnceValue(perfmodel.Default)
+
+// Config parametrizes an Engine. The zero value is usable: every field
+// falls back to the paper's evaluation settings (Section 5: window size
+// 100, finished ratio 0.6, monitoring rate 50 ms, rule Rtime, default
+// performance models).
+type Config struct {
+	// WindowSize is the number of instances monitored per round at each
+	// allocation context.
+	WindowSize int
+	// FinishedRatio is the fraction of the monitored window that must
+	// have finished (become unreachable) before the context may act.
+	FinishedRatio float64
+	// MonitorRate is the period of the background analysis task.
+	MonitorRate time.Duration
+	// Rule is the selection rule applied at analysis time.
+	Rule Rule
+	// Models are the performance models consulted for cost estimates.
+	Models *perfmodel.Models
+	// AdaptiveSizeSpread gates adaptive variants: they become candidates
+	// only when the observed max sizes of the monitored instances spread
+	// by at least this factor between the smallest and largest instance
+	// (Section 3.2: "widely ranging sizes"). Zero uses the default (4).
+	AdaptiveSizeSpread float64
+	// CooldownWindows throttles monitoring: after each analysis round, the
+	// next CooldownWindows×WindowSize instances are created unmonitored.
+	// This bounds the sampled fraction of instances (the paper bounds it
+	// through the 50ms monitoring rate against millions of creations per
+	// second) and with it the monitor overhead. Zero uses the default
+	// (3); negative disables the cooldown.
+	CooldownWindows float64
+	// Logf, when non-nil, receives framework trace events (context
+	// registration, completed analysis rounds, transitions) — the
+	// "detailed log system for tracing framework events" the paper
+	// describes as its debuggability mitigation (Section 4.4). The
+	// callback runs on the analysis goroutine; keep it fast.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills unset fields with the paper's settings.
+func (c Config) withDefaults() Config {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 100
+	}
+	if c.FinishedRatio <= 0 {
+		c.FinishedRatio = 0.6
+	}
+	if c.FinishedRatio > 1 {
+		c.FinishedRatio = 1
+	}
+	if c.MonitorRate <= 0 {
+		c.MonitorRate = 50 * time.Millisecond
+	}
+	if c.Rule.Name == "" {
+		c.Rule = Rtime()
+	}
+	if c.Models == nil {
+		c.Models = sharedDefaultModels()
+	}
+	if c.AdaptiveSizeSpread <= 0 {
+		c.AdaptiveSizeSpread = 4
+	}
+	if c.CooldownWindows == 0 {
+		c.CooldownWindows = 3
+	}
+	if c.CooldownWindows < 0 {
+		c.CooldownWindows = 0
+	}
+	return c
+}
+
+// Transition records one variant switch performed by an allocation context,
+// feeding the Table 6 aggregation and the framework's trace log.
+type Transition struct {
+	Context string                // allocation-context name (site label)
+	From    collections.VariantID //
+	To      collections.VariantID //
+	Round   int                   // monitoring round that triggered it
+	// Ratios holds TC_D(new)/TC_D(current) per rule dimension at the
+	// moment of the switch.
+	Ratios map[perfmodel.Dimension]float64
+	When   time.Time
+}
+
+// analyzable is the engine-facing face of a generic allocation context.
+type analyzable interface {
+	analyze()
+	contextName() string
+}
+
+// Engine coordinates allocation contexts: it owns the configuration, the
+// periodic analysis loop and the transition log. Create one per application
+// (or per subsystem) and register contexts against it.
+type Engine struct {
+	cfg Config
+
+	mu          sync.Mutex
+	contexts    []analyzable
+	transitions []Transition
+	closed      bool
+
+	background bool // whether loop() was started
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// NewEngine returns an Engine running its background analysis loop at the
+// configured monitoring rate. Call Close to stop it.
+func NewEngine(cfg Config) *Engine {
+	e := newEngine(cfg)
+	e.background = true
+	go e.loop()
+	return e
+}
+
+// NewEngineManual returns an Engine without a background loop; analysis
+// runs only when AnalyzeNow is called. Experiments and tests use this for
+// deterministic scheduling.
+func NewEngineManual(cfg Config) *Engine {
+	return newEngine(cfg)
+}
+
+func newEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+func (e *Engine) loop() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.MonitorRate)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.AnalyzeNow()
+		}
+	}
+}
+
+// Close stops the background loop (if any). It is idempotent. Contexts
+// remain usable for collection creation afterwards but no further analysis
+// runs unless AnalyzeNow is called explicitly.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	background := e.background
+	e.mu.Unlock()
+	if background {
+		close(e.stop)
+		<-e.done
+	}
+}
+
+// AnalyzeNow runs one synchronous analysis pass over every registered
+// context. The background loop calls this on each tick.
+func (e *Engine) AnalyzeNow() {
+	e.mu.Lock()
+	ctxs := make([]analyzable, len(e.contexts))
+	copy(ctxs, e.contexts)
+	e.mu.Unlock()
+	for _, c := range ctxs {
+		c.analyze()
+	}
+}
+
+// register adds a context to the analysis schedule.
+func (e *Engine) register(c analyzable) {
+	e.mu.Lock()
+	e.contexts = append(e.contexts, c)
+	e.mu.Unlock()
+	e.logf("context registered: %s", c.contextName())
+}
+
+// logf emits a trace event if tracing is configured.
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// logTransition appends to the transition log.
+func (e *Engine) logTransition(t Transition) {
+	e.mu.Lock()
+	e.transitions = append(e.transitions, t)
+	e.mu.Unlock()
+	e.logf("transition at %s (round %d): %s -> %s", t.Context, t.Round, t.From, t.To)
+}
+
+// Transitions returns a copy of the transition log in occurrence order.
+func (e *Engine) Transitions() []Transition {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Transition, len(e.transitions))
+	copy(out, e.transitions)
+	return out
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ContextCount returns the number of registered allocation contexts.
+func (e *Engine) ContextCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.contexts)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/collections"
+)
+
+// ctxOptions collects the per-context settings shared by the three context
+// kinds.
+type ctxOptions struct {
+	name       string
+	defaultVar collections.VariantID
+	candidates []collections.VariantID
+}
+
+// Option configures an allocation context at creation.
+type Option func(*ctxOptions)
+
+// WithName labels the context in transition logs and reports. Without it,
+// the context is named after its creation site (file:line), mirroring the
+// paper's allocation-site identity.
+func WithName(name string) Option {
+	return func(o *ctxOptions) { o.name = name }
+}
+
+// WithDefaultVariant sets the variant instantiated before any switch — the
+// collection the developer originally declared at the site. The default
+// defaults follow the JDK dominance reported in the paper's empirical
+// study: ArrayList, HashSet, HashMap.
+func WithDefaultVariant(id collections.VariantID) Option {
+	return func(o *ctxOptions) { o.defaultVar = id }
+}
+
+// WithCandidates restricts the variants the context may select among. The
+// default is every registered variant of the context's abstraction. The
+// default variant is always included.
+func WithCandidates(ids ...collections.VariantID) Option {
+	return func(o *ctxOptions) { o.candidates = append([]collections.VariantID(nil), ids...) }
+}
+
+// resolveOptions applies opts over the abstraction defaults. callerSkip is
+// the number of frames between the user call site and this function.
+func resolveOptions(opts []Option, defVar collections.VariantID, all []collections.VariantID, callerSkip int) ctxOptions {
+	o := ctxOptions{defaultVar: defVar, candidates: all}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.name == "" {
+		if _, file, line, ok := runtime.Caller(callerSkip); ok {
+			o.name = fmt.Sprintf("%s:%d", trimPath(file), line)
+		} else {
+			o.name = "unknown-site"
+		}
+	}
+	// The default variant must be a candidate, or the context could not
+	// compare anything against it.
+	found := false
+	for _, c := range o.candidates {
+		if c == o.defaultVar {
+			found = true
+			break
+		}
+	}
+	if !found {
+		o.candidates = append([]collections.VariantID{o.defaultVar}, o.candidates...)
+	}
+	return o
+}
+
+// trimPath shortens an absolute source path to its last two segments.
+func trimPath(p string) string {
+	slashes := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			slashes++
+			if slashes == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}

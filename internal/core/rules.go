@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perfmodel"
+)
+
+// Criterion is one predicate of a selection rule (Section 3.1.2): the
+// candidate variant satisfies it when
+//
+//	TC_D(V_new) / TC_D(V_cur) <= Threshold.
+//
+// A threshold below 1 demands an improvement on the dimension; a threshold
+// of 1 or above caps the allowed penalty.
+type Criterion struct {
+	Dimension perfmodel.Dimension
+	Threshold float64
+}
+
+// Rule is an ordered list of criteria. A candidate is eligible if it
+// satisfies every criterion; among eligible candidates the one with the
+// largest improvement on the first criterion's dimension wins (Section
+// 3.1.2).
+type Rule struct {
+	Name     string
+	Criteria []Criterion
+}
+
+// Rtime is the execution-time rule of Table 4: switch when the candidate's
+// estimated time cost is below 0.8 of the current variant's.
+func Rtime() Rule {
+	return Rule{
+		Name: "Rtime",
+		Criteria: []Criterion{
+			{Dimension: perfmodel.DimTimeNS, Threshold: 0.8},
+		},
+	}
+}
+
+// Ralloc is the allocation rule of Table 4: switch when the candidate
+// allocates below 0.8 of the current variant while costing at most 1.2x the
+// time. Without the time cap, array-backed variants would always win on
+// allocation and degrade execution uncontrollably.
+func Ralloc() Rule {
+	return Rule{
+		Name: "Ralloc",
+		Criteria: []Criterion{
+			{Dimension: perfmodel.DimAllocB, Threshold: 0.8},
+			{Dimension: perfmodel.DimTimeNS, Threshold: 1.2},
+		},
+	}
+}
+
+// Rfootprint optimizes the retained-memory dimension with the same 1.2x
+// time cap as Ralloc. Not part of Table 4, but expressible in the paper's
+// rule language; used by the ablation benchmarks.
+func Rfootprint() Rule {
+	return Rule{
+		Name: "Rfootprint",
+		Criteria: []Criterion{
+			{Dimension: perfmodel.DimFootprint, Threshold: 0.8},
+			{Dimension: perfmodel.DimTimeNS, Threshold: 1.2},
+		},
+	}
+}
+
+// Renergy optimizes the synthesized energy dimension (the paper's Section 7
+// future work) with the usual 1.2x time cap: switch when the candidate's
+// estimated energy is below 0.8 of the current variant's without slowing
+// execution uncontrollably.
+func Renergy() Rule {
+	return Rule{
+		Name: "Renergy",
+		Criteria: []Criterion{
+			{Dimension: perfmodel.DimEnergy, Threshold: 0.8},
+			{Dimension: perfmodel.DimTimeNS, Threshold: 1.2},
+		},
+	}
+}
+
+// ImpossibleRule demands a 1000x improvement — no candidate ever satisfies
+// it. The paper uses exactly this configuration to measure the framework's
+// monitoring overhead with optimization actions disabled (Section 5.3).
+func ImpossibleRule() Rule {
+	return Rule{
+		Name: "Impossible",
+		Criteria: []Criterion{
+			{Dimension: perfmodel.DimTimeNS, Threshold: 0.001},
+		},
+	}
+}
+
+// Validate reports whether the rule is well-formed: at least one criterion,
+// positive thresholds, and no duplicate dimensions.
+func (r Rule) Validate() error {
+	if len(r.Criteria) == 0 {
+		return fmt.Errorf("core: rule %q has no criteria", r.Name)
+	}
+	seen := make(map[perfmodel.Dimension]bool)
+	for _, c := range r.Criteria {
+		if c.Threshold <= 0 {
+			return fmt.Errorf("core: rule %q: non-positive threshold %g for %s", r.Name, c.Threshold, c.Dimension)
+		}
+		if seen[c.Dimension] {
+			return fmt.Errorf("core: rule %q: duplicate dimension %s", r.Name, c.Dimension)
+		}
+		seen[c.Dimension] = true
+	}
+	return nil
+}
+
+// String renders the rule in Table 4 style, e.g.
+// "Ralloc[alloc-b<0.80 time-ns<1.20]".
+func (r Rule) String() string {
+	parts := make([]string, len(r.Criteria))
+	for i, c := range r.Criteria {
+		parts[i] = fmt.Sprintf("%s<%.2f", c.Dimension, c.Threshold)
+	}
+	return fmt.Sprintf("%s[%s]", r.Name, strings.Join(parts, " "))
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/collections"
+	"repro/internal/perfmodel"
+)
+
+// costAgg incrementally accumulates the per-variant total costs TC_D(V) of
+// Section 3.1.1 over the workloads of finished instances. Folding happens
+// once per instance; the decision step then only compares the accumulated
+// sums, making its cost independent of the window size (the Figure 7
+// property).
+type costAgg struct {
+	models     *perfmodel.Models
+	candidates []collections.VariantID
+	dims       []perfmodel.Dimension
+	// tc[candidateIndex][dimIndex] accumulated total cost.
+	tc     [][]float64
+	folded int
+	// size spread of folded workloads, for adaptive gating.
+	minSize, maxSize int64
+}
+
+func newCostAgg(models *perfmodel.Models, candidates []collections.VariantID) *costAgg {
+	a := &costAgg{
+		models:     models,
+		candidates: candidates,
+		dims:       perfmodel.Dimensions(),
+		tc:         make([][]float64, len(candidates)),
+		minSize:    math.MaxInt64,
+	}
+	for i := range a.tc {
+		a.tc[i] = make([]float64, len(a.dims))
+	}
+	return a
+}
+
+// fold adds one instance workload to the running totals.
+func (a *costAgg) fold(w Workload) {
+	a.folded++
+	if w.MaxSize < a.minSize {
+		a.minSize = w.MaxSize
+	}
+	if w.MaxSize > a.maxSize {
+		a.maxSize = w.MaxSize
+	}
+	s := float64(w.MaxSize)
+	if s < 1 {
+		s = 1
+	}
+	// Populate is modeled per complete population to size s, so the raw
+	// add count converts to "number of populations".
+	popN := float64(w.Adds) / s
+	for ci, v := range a.candidates {
+		for di, dim := range a.dims {
+			if dim == perfmodel.DimFootprint {
+				// Footprint is a retained-state dimension: charged
+				// once per instance at its maximum size.
+				a.tc[ci][di] += a.models.Cost(v, perfmodel.OpPopulate, dim, s)
+				continue
+			}
+			c := popN * a.models.Cost(v, perfmodel.OpPopulate, dim, s)
+			c += float64(w.Contains) * a.models.Cost(v, perfmodel.OpContains, dim, s)
+			c += float64(w.Iterates) * a.models.Cost(v, perfmodel.OpIterate, dim, s)
+			c += float64(w.Middles) * a.models.Cost(v, perfmodel.OpMiddle, dim, s)
+			a.tc[ci][di] += c
+		}
+	}
+}
+
+// total returns TC_D(V) for candidate index ci.
+func (a *costAgg) total(ci int, dim perfmodel.Dimension) float64 {
+	for di, d := range a.dims {
+		if d == dim {
+			return a.tc[ci][di]
+		}
+	}
+	return 0
+}
+
+// sizeSpread returns maxSize/minSize of the folded workloads (≥1); 1 when
+// nothing was folded.
+func (a *costAgg) sizeSpread() float64 {
+	if a.folded == 0 || a.maxSize <= 0 {
+		return 1
+	}
+	minSz := a.minSize
+	if minSz < 1 {
+		minSz = 1
+	}
+	return float64(a.maxSize) / float64(minSz)
+}
+
+// decision is the outcome of evaluating a rule over an aggregate.
+type decision struct {
+	switchTo collections.VariantID
+	ratios   map[perfmodel.Dimension]float64
+	ok       bool
+}
+
+// decide applies the selection rule of Section 3.1.2: a candidate is
+// eligible if TC_D(new)/TC_D(cur) ≤ T_D for every criterion; among eligible
+// candidates the largest improvement on the first criterion wins. Adaptive
+// variants are only considered when the observed sizes are "widely ranging"
+// (Section 3.2): the spread must reach adaptiveSpread AND the sizes must
+// straddle the variant's transition threshold — an adaptive collection is
+// pointless when every instance stays on one side of it.
+func decide(a *costAgg, current collections.VariantID, rule Rule, adaptiveSpread float64, adaptiveThreshold int64) decision {
+	curIdx := -1
+	for i, v := range a.candidates {
+		if v == current {
+			curIdx = i
+			break
+		}
+	}
+	if curIdx < 0 || a.folded == 0 {
+		return decision{}
+	}
+	spread := a.sizeSpread()
+	best := decision{}
+	bestC1 := math.Inf(1)
+	for i, v := range a.candidates {
+		if i == curIdx {
+			continue
+		}
+		if collections.IsAdaptive(v) {
+			straddles := a.minSize < adaptiveThreshold && a.maxSize > adaptiveThreshold
+			if spread < adaptiveSpread || !straddles {
+				continue
+			}
+		}
+		ratios := make(map[perfmodel.Dimension]float64, len(rule.Criteria))
+		eligible := true
+		for _, crit := range rule.Criteria {
+			newCost := a.total(i, crit.Dimension)
+			curCost := a.total(curIdx, crit.Dimension)
+			var ratio float64
+			switch {
+			case curCost > 0:
+				ratio = newCost / curCost
+			case newCost == 0:
+				ratio = 1
+			default:
+				ratio = math.Inf(1)
+			}
+			ratios[crit.Dimension] = ratio
+			if ratio > crit.Threshold {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		c1 := ratios[rule.Criteria[0].Dimension]
+		if c1 < bestC1 {
+			bestC1 = c1
+			best = decision{switchTo: v, ratios: ratios, ok: true}
+		}
+	}
+	return best
+}

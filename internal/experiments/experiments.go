@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 5) on top of this repository's substrates.
+// Each experiment returns structured data and offers a Print method that
+// renders the same rows/series the paper reports; cmd/experiments is the
+// CLI front end, and bench_test.go exposes each experiment as a testing.B
+// benchmark.
+//
+// Absolute numbers are machine- and runtime-specific; the reproduction
+// target is the shape of each result (who wins, by roughly what factor,
+// where crossovers fall). EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Scale reduces or enlarges experiment workloads uniformly. Full is the
+// paper's configuration; Quick suits tests and benches.
+type Scale struct {
+	// Fig5Instances is the number of collection instances per
+	// single-phase run (paper: 100k).
+	Fig5Instances int
+	// Fig5Lookups is the per-instance lookup count for the set and map
+	// panels (paper: 100).
+	Fig5Lookups int
+	// Fig5ListLookups is the per-instance lookup count for the list
+	// panel. The paper uses 100 against JDK Integer equality; Go's
+	// unboxed int scans are roughly 5x cheaper, so the same
+	// discriminating power needs ~5x the lookups (see EXPERIMENTS.md).
+	Fig5ListLookups int
+	// Fig5Sizes are the swept collection sizes (paper: 100..1000).
+	Fig5Sizes []int
+	// Fig6Instances is the instance count per multi-phase iteration.
+	Fig6Instances int
+	// Fig6Size is the collection size in the multi-phase scenario.
+	Fig6Size int
+	// Fig6Reps is the number of iterations per phase (paper: 5).
+	Fig6Reps int
+	// Fig6Ops is the per-instance operation count per iteration
+	// (paper: 100; raised for the same scan-cost reason as
+	// Fig5ListLookups).
+	Fig6Ops int
+	// AppScale scales the DaCapo-substitute workloads.
+	AppScale float64
+	// AppWarmup/AppMeasured are run counts for Table 5 (paper: 5/30).
+	AppWarmup, AppMeasured int
+	// ThresholdTrials is the measurement repetition count in the
+	// Figure 3 threshold analysis.
+	ThresholdTrials int
+}
+
+// FullScale returns the paper's experiment configuration.
+func FullScale() Scale {
+	sizes := make([]int, 0, 10)
+	for s := 100; s <= 1000; s += 100 {
+		sizes = append(sizes, s)
+	}
+	return Scale{
+		Fig5Instances:   100000,
+		Fig5Sizes:       sizes,
+		Fig5Lookups:     100,
+		Fig5ListLookups: 500,
+		Fig6Instances:   100000,
+		Fig6Size:        500,
+		Fig6Reps:        5,
+		Fig6Ops:         500,
+		AppScale:        1.0,
+		AppWarmup:       5,
+		AppMeasured:     30,
+		ThresholdTrials: 51,
+	}
+}
+
+// QuickScale returns a reduced configuration that exercises every code path
+// in seconds.
+func QuickScale() Scale {
+	return Scale{
+		Fig5Instances:   2000,
+		Fig5Sizes:       []int{100, 300, 500, 800, 1000},
+		Fig5Lookups:     100,
+		Fig5ListLookups: 500,
+		Fig6Instances:   2000,
+		Fig6Size:        300,
+		Fig6Reps:        2,
+		Fig6Ops:         500,
+		AppScale:        0.1,
+		AppWarmup:       1,
+		AppMeasured:     5,
+		ThresholdTrials: 11,
+	}
+}
+
+// header prints a section header in the experiment reports.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

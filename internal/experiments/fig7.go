@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+// This file regenerates Figure 7: the cost of analyzing the collected
+// collection metrics as a function of the monitored window size. Because
+// the engine folds finished instances into running per-variant totals
+// incrementally, the periodic decision step is O(candidates) regardless of
+// how many instances were monitored — the property behind the paper's flat
+// ~250–285 ns curve.
+
+// Fig7Point is one window size of the overhead sweep.
+type Fig7Point struct {
+	WindowSize int
+	// OverheadNs is the measured decision cost in nanoseconds.
+	OverheadNs float64
+}
+
+// RunFig7 measures the analysis overhead across window sizes 100..100k.
+func RunFig7(models *perfmodel.Models) []Fig7Point {
+	if models == nil {
+		models = perfmodel.Default()
+	}
+	var out []Fig7Point
+	for _, window := range []int{100, 1000, 10000, 100000} {
+		ns := core.DecisionOverheadNs(models, core.Rtime(), window, 2000)
+		out = append(out, Fig7Point{WindowSize: window, OverheadNs: ns})
+	}
+	return out
+}
+
+// PrintFig7 renders the overhead sweep.
+func PrintFig7(w io.Writer, points []Fig7Point) {
+	header(w, "Figure 7 — analysis overhead by window size")
+	fmt.Fprintf(w, "%12s %15s\n", "window", "overhead (ns)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%12d %15.0f\n", p.WindowSize, p.OverheadNs)
+	}
+	fmt.Fprintln(w, "(paper: 250–285 ns, flat in window size)")
+}

@@ -1,0 +1,359 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/collections"
+	"repro/internal/polyfit"
+)
+
+// This file is the empirical model builder of Section 4.1: it measures every
+// collection variant under every (critical operation × size) cell of the
+// factorial plan and fits the cost polynomials. It plays the role JMH plays
+// in the paper, using testing.Benchmark for steady-state timing and
+// allocation profiling (ns/op and B/op).
+
+// Builder runs the benchmark plan and produces Models.
+type Builder struct {
+	Plan Plan
+	// Progress, if non-nil, receives a line per completed (variant, op)
+	// pair — cmd/perfmodel wires this to stderr.
+	Progress func(variant collections.VariantID, op Op)
+	// rng drives the uniform data distribution of Table 3.
+	seed int64
+}
+
+// NewBuilder returns a Builder over the given plan.
+func NewBuilder(plan Plan) *Builder { return &Builder{Plan: plan, seed: 1} }
+
+// sample is one measured cell of the factorial plan.
+type sample struct {
+	size  int
+	ns    float64 // time per op (populate: per full population)
+	alloc float64 // bytes allocated per op
+}
+
+// fitDim fits one dimension of a sample series.
+func (b *Builder) fit(samples []sample, pick func(sample) float64) (polyfit.Poly, error) {
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = float64(s.size)
+		ys[i] = pick(s)
+	}
+	return polyfit.Fit(xs, ys, b.Plan.Degree)
+}
+
+// keysFor returns n distinct uniformly shuffled int keys, plus a probe set
+// mixing present and absent keys (the uniform distribution of Table 3).
+func keysFor(n int, seed int64) (keys, probes []int) {
+	r := rand.New(rand.NewSource(seed))
+	keys = r.Perm(n * 2)[:n] // values in [0, 2n): half the domain present
+	probes = make([]int, 256)
+	for i := range probes {
+		probes[i] = r.Intn(n * 2)
+	}
+	return keys, probes
+}
+
+// benchNs runs fn under testing.Benchmark with allocation reporting and
+// returns ns/op and B/op. Warm-up iterations run first, unmeasured
+// (Section 4.1.2 methodology).
+func (b *Builder) bench(warm func(), fn func(bi *testing.B)) (ns, alloc float64) {
+	for i := 0; i < b.Plan.WarmupIters; i++ {
+		warm()
+	}
+	res := testing.Benchmark(func(bi *testing.B) {
+		bi.ReportAllocs()
+		fn(bi)
+	})
+	return float64(res.NsPerOp()), float64(res.AllocedBytesPerOp())
+}
+
+// BuildLists measures every list variant and returns their models.
+func (b *Builder) BuildLists() (*Models, error) {
+	m := NewModels()
+	for _, variant := range collections.ListVariants[int]() {
+		if err := b.buildList(m, variant); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (b *Builder) buildList(m *Models, variant collections.ListVariant[int]) error {
+	type opSamples map[Op][]sample
+	all := opSamples{}
+	foot := make([]sample, 0, len(b.Plan.Sizes))
+	for _, size := range b.Plan.Sizes {
+		keys, probes := keysFor(size, b.seed)
+		populate := func() collections.List[int] {
+			l := variant.New(0)
+			for _, k := range keys {
+				l.Add(k)
+			}
+			return l
+		}
+		// populate: per full population to size.
+		ns, alloc := b.bench(func() { populate() }, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				populate()
+			}
+		})
+		all[OpPopulate] = append(all[OpPopulate], sample{size, ns, alloc})
+
+		l := populate()
+		// contains: per call at size.
+		ns, alloc = b.bench(func() { l.Contains(probes[0]) }, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				l.Contains(probes[i%len(probes)])
+			}
+		})
+		all[OpContains] = append(all[OpContains], sample{size, ns, alloc})
+
+		// iterate: per full traversal at size.
+		sink := 0
+		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				l.ForEach(func(v int) bool { sink += v; return true })
+			}
+		})
+		_ = sink
+		all[OpIterate] = append(all[OpIterate], sample{size, ns, alloc})
+
+		// middle: insert + remove at the midpoint, size stays constant.
+		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
+			mid := l.Len() / 2
+			for i := 0; i < bi.N; i++ {
+				l.Insert(mid, -1)
+				l.RemoveAt(mid)
+			}
+		})
+		all[OpMiddle] = append(all[OpMiddle], sample{size, ns, alloc})
+
+		if sz, ok := l.(collections.Sizer); ok {
+			foot = append(foot, sample{size, float64(sz.FootprintBytes()), 0})
+		}
+	}
+	return b.store(m, variant.ID, all, foot)
+}
+
+// BuildSets measures every set variant and returns their models.
+func (b *Builder) BuildSets() (*Models, error) {
+	m := NewModels()
+	for _, variant := range collections.SetVariants[int]() {
+		if err := b.buildSet(m, variant); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (b *Builder) buildSet(m *Models, variant collections.SetVariant[int]) error {
+	all := map[Op][]sample{}
+	foot := make([]sample, 0, len(b.Plan.Sizes))
+	for _, size := range b.Plan.Sizes {
+		keys, probes := keysFor(size, b.seed)
+		populate := func() collections.Set[int] {
+			s := variant.New(0)
+			for _, k := range keys {
+				s.Add(k)
+			}
+			return s
+		}
+		ns, alloc := b.bench(func() { populate() }, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				populate()
+			}
+		})
+		all[OpPopulate] = append(all[OpPopulate], sample{size, ns, alloc})
+
+		s := populate()
+		ns, alloc = b.bench(func() { s.Contains(probes[0]) }, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				s.Contains(probes[i%len(probes)])
+			}
+		})
+		all[OpContains] = append(all[OpContains], sample{size, ns, alloc})
+
+		sink := 0
+		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				s.ForEach(func(v int) bool { sink += v; return true })
+			}
+		})
+		_ = sink
+		all[OpIterate] = append(all[OpIterate], sample{size, ns, alloc})
+
+		// middle for sets: add + remove of a fresh element.
+		fresh := size*2 + 1
+		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				s.Add(fresh)
+				s.Remove(fresh)
+			}
+		})
+		all[OpMiddle] = append(all[OpMiddle], sample{size, ns, alloc})
+
+		if sz, ok := s.(collections.Sizer); ok {
+			foot = append(foot, sample{size, float64(sz.FootprintBytes()), 0})
+		}
+	}
+	return b.store(m, variant.ID, all, foot)
+}
+
+// BuildMaps measures every map variant and returns their models.
+func (b *Builder) BuildMaps() (*Models, error) {
+	m := NewModels()
+	for _, variant := range collections.MapVariants[int, int]() {
+		if err := b.buildMap(m, variant); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (b *Builder) buildMap(m *Models, variant collections.MapVariant[int, int]) error {
+	all := map[Op][]sample{}
+	foot := make([]sample, 0, len(b.Plan.Sizes))
+	for _, size := range b.Plan.Sizes {
+		keys, probes := keysFor(size, b.seed)
+		populate := func() collections.Map[int, int] {
+			mp := variant.New(0)
+			for _, k := range keys {
+				mp.Put(k, k)
+			}
+			return mp
+		}
+		ns, alloc := b.bench(func() { populate() }, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				populate()
+			}
+		})
+		all[OpPopulate] = append(all[OpPopulate], sample{size, ns, alloc})
+
+		mp := populate()
+		ns, alloc = b.bench(func() { mp.Get(probes[0]) }, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				mp.Get(probes[i%len(probes)])
+			}
+		})
+		all[OpContains] = append(all[OpContains], sample{size, ns, alloc})
+
+		sink := 0
+		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				mp.ForEach(func(_, v int) bool { sink += v; return true })
+			}
+		})
+		_ = sink
+		all[OpIterate] = append(all[OpIterate], sample{size, ns, alloc})
+
+		fresh := size*2 + 1
+		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
+			for i := 0; i < bi.N; i++ {
+				mp.Put(fresh, fresh)
+				mp.Remove(fresh)
+			}
+		})
+		all[OpMiddle] = append(all[OpMiddle], sample{size, ns, alloc})
+
+		if sz, ok := mp.(collections.Sizer); ok {
+			foot = append(foot, sample{size, float64(sz.FootprintBytes()), 0})
+		}
+	}
+	return b.store(m, variant.ID, all, foot)
+}
+
+// fitSamples fits one dimension of a sample series; for adaptive variants
+// it fits the two representation regimes separately (their cost functions
+// kink at the transition threshold), falling back to a single fit when a
+// regime has too few samples.
+func (b *Builder) fitSamples(m *Models, id collections.VariantID, op Op, dim Dimension, samples []sample, pick func(sample) float64) error {
+	if collections.IsAdaptive(id) {
+		thr := adaptiveThresholdOf(id)
+		var below, above []sample
+		for _, s := range samples {
+			if float64(s.size) <= thr {
+				below = append(below, s)
+			} else {
+				above = append(above, s)
+			}
+		}
+		if len(below) >= 2 && len(above) >= 2 {
+			fitSeg := func(seg []sample) (polyfit.Poly, error) {
+				degree := b.Plan.Degree
+				if degree > len(seg)-1 {
+					degree = len(seg) - 1
+				}
+				xs := make([]float64, len(seg))
+				ys := make([]float64, len(seg))
+				for i, s := range seg {
+					xs[i] = float64(s.size)
+					ys[i] = pick(s)
+				}
+				return polyfit.Fit(xs, ys, degree)
+			}
+			pb, err := fitSeg(below)
+			if err != nil {
+				return err
+			}
+			pa, err := fitSeg(above)
+			if err != nil {
+				return err
+			}
+			m.SetPiecewise(id, op, dim, thr, pb, pa)
+			return nil
+		}
+	}
+	p, err := b.fit(samples, pick)
+	if err != nil {
+		return err
+	}
+	m.Set(id, op, dim, p)
+	return nil
+}
+
+// store fits and records the curves of one variant.
+func (b *Builder) store(m *Models, id collections.VariantID, all map[Op][]sample, foot []sample) error {
+	for op, samples := range all {
+		if err := b.fitSamples(m, id, op, DimTimeNS, samples, func(s sample) float64 { return s.ns }); err != nil {
+			return err
+		}
+		if err := b.fitSamples(m, id, op, DimAllocB, samples, func(s sample) float64 { return s.alloc }); err != nil {
+			return err
+		}
+		if b.Progress != nil {
+			b.Progress(id, op)
+		}
+	}
+	if len(foot) > 0 {
+		for _, op := range b.Plan.Ops {
+			if err := b.fitSamples(m, id, op, DimFootprint, foot, func(s sample) float64 { return s.ns }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildAll measures lists, sets and maps and returns the merged models.
+func (b *Builder) BuildAll() (*Models, error) {
+	lists, err := b.BuildLists()
+	if err != nil {
+		return nil, err
+	}
+	sets, err := b.BuildSets()
+	if err != nil {
+		return nil, err
+	}
+	maps, err := b.BuildMaps()
+	if err != nil {
+		return nil, err
+	}
+	lists.Merge(sets)
+	lists.Merge(maps)
+	SynthesizeEnergy(lists)
+	return lists, nil
+}

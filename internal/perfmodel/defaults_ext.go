@@ -1,0 +1,152 @@
+package perfmodel
+
+import (
+	"math"
+
+	"repro/internal/collections"
+)
+
+// Analytic default models for the future-work variants (sorted and
+// concurrent collections, Section 7). Same modeling approach as
+// defaults.go, with logarithmic point-operation costs for the tree-shaped
+// structures:
+//
+//   - AVL / skip list: O(log n) probes over pointer-chased nodes, one node
+//     allocation per insert — time near the chained hash's, footprint too;
+//   - sorted array: binary-searched O(log n) lookups at flat-array
+//     footprint, but quadratic population (shift per insert);
+//   - sync wrappers: their inner open-balanced costs plus a fixed lock
+//     acquisition per operation;
+//   - sharded map: slightly higher fixed cost per operation (shard pick +
+//     lock), a 16-table base footprint, and contention relief that a
+//     sequential cost model deliberately does not credit.
+
+// logCost returns a + b·log2(s+1), the point-op shape of tree structures.
+func logCost(a, b float64) costFn {
+	return func(s float64) float64 { return a + b*math.Log2(s+1) }
+}
+
+// nLogCost returns s·(a + b·log2(s+1)), the population shape of trees.
+func nLogCost(a, b float64) costFn {
+	return func(s float64) float64 { return s * (a + b*math.Log2(s+1)) }
+}
+
+func analyticExtensionSets() []analyticVariant {
+	avl := analyticVariant{
+		id: collections.AVLTreeSetID,
+		time: map[Op]costFn{
+			OpPopulate: nLogCost(40, 6),
+			OpContains: logCost(10, 5),
+			OpIterate:  lin(12, 1.2),
+			OpMiddle:   logCost(30, 12), // insert + delete with rebalancing
+		},
+		allocPopulate: lin(48, 56), // one node per element
+		allocMiddle:   lin(56, 0),
+		footprint:     lin(48, 56),
+	}
+	skip := analyticVariant{
+		id: collections.SkipListSetID,
+		time: map[Op]costFn{
+			OpPopulate: nLogCost(60, 8),
+			OpContains: logCost(15, 7),
+			OpIterate:  lin(12, 1.0),
+			OpMiddle:   logCost(40, 16),
+		},
+		allocPopulate: lin(220, 80), // node + tower per element, sentinel base
+		allocMiddle:   lin(80, 0),
+		footprint:     lin(220, 80),
+	}
+	sortedArr := analyticVariant{
+		id: collections.SortedArraySetID,
+		time: map[Op]costFn{
+			OpPopulate: quad(20, 3, 0.15), // shift on every insert
+			OpContains: logCost(8, 4),
+			OpIterate:  lin(5, 0.3),
+			OpMiddle:   lin(12, 0.3), // shift-dominated
+		},
+		allocPopulate: lin(48, 16),
+		allocMiddle:   zero,
+		footprint:     lin(48, 10),
+	}
+	syncSet := analyticVariant{
+		id: collections.SyncSetID,
+		time: map[Op]costFn{
+			// Open-balanced costs plus ~18ns of uncontended lock per op
+			// (populate pays it once per element).
+			OpPopulate: quad(50, 32, 0.010),
+			OpContains: lin(25.5, 0.0018),
+			OpIterate:  lin(26, 0.55),
+			OpMiddle:   lin(64, 0.002),
+		},
+		allocPopulate: quad(200, 24, 0.02),
+		allocMiddle:   zero,
+		footprint:     lin(120, 18),
+	}
+	return []analyticVariant{avl, skip, sortedArr, syncSet}
+}
+
+func analyticExtensionMaps() []analyticVariant {
+	avl := analyticVariant{
+		id: collections.AVLTreeMapID,
+		time: map[Op]costFn{
+			OpPopulate: nLogCost(46, 7),
+			OpContains: logCost(11, 5.5),
+			OpIterate:  lin(14, 1.3),
+			OpMiddle:   logCost(34, 13),
+		},
+		allocPopulate: lin(56, 64),
+		allocMiddle:   lin(64, 0),
+		footprint:     lin(56, 64),
+	}
+	skip := analyticVariant{
+		id: collections.SkipListMapID,
+		time: map[Op]costFn{
+			OpPopulate: nLogCost(70, 9),
+			OpContains: logCost(17, 8),
+			OpIterate:  lin(14, 1.1),
+			OpMiddle:   logCost(46, 18),
+		},
+		allocPopulate: lin(240, 88),
+		allocMiddle:   lin(88, 0),
+		footprint:     lin(240, 88),
+	}
+	sortedArr := analyticVariant{
+		id: collections.SortedArrayMapID,
+		time: map[Op]costFn{
+			OpPopulate: quad(23, 3.5, 0.17),
+			OpContains: logCost(9, 4.5),
+			OpIterate:  lin(6, 0.35),
+			OpMiddle:   lin(14, 0.35),
+		},
+		allocPopulate: lin(96, 30),
+		allocMiddle:   zero,
+		footprint:     lin(96, 19),
+	}
+	syncMap := analyticVariant{
+		id: collections.SyncMapID,
+		time: map[Op]costFn{
+			OpPopulate: quad(58, 34, 0.012),
+			OpContains: lin(27, 0.002),
+			OpIterate:  lin(28, 0.63),
+			OpMiddle:   lin(70, 0.002),
+		},
+		allocPopulate: quad(320, 46, 0.038),
+		allocMiddle:   zero,
+		footprint:     lin(220, 34),
+	}
+	sharded := analyticVariant{
+		id: collections.ShardedMapID,
+		time: map[Op]costFn{
+			// Per-op shard pick + lock; 16 small tables grow cheaper per
+			// table but the base is bigger.
+			OpPopulate: quad(900, 38, 0.002),
+			OpContains: lin(31, 0.001),
+			OpIterate:  lin(160, 0.7),
+			OpMiddle:   lin(76, 0.001),
+		},
+		allocPopulate: lin(2600, 46), // 16 pre-sized tables
+		allocMiddle:   zero,
+		footprint:     lin(2600, 34),
+	}
+	return []analyticVariant{avl, skip, sortedArr, syncMap, sharded}
+}

@@ -1,0 +1,117 @@
+package perfmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/collections"
+	"repro/internal/polyfit"
+)
+
+// The JSON form lets cmd/perfmodel persist machine-built models and the
+// framework load them later, mirroring the paper's separation between the
+// offline benchmarking phase and the runtime library.
+
+// jsonPiece is one segment of a serialized curve. UpTo is nil for the
+// final, unbounded segment (JSON has no +Inf).
+type jsonPiece struct {
+	UpTo   *float64  `json:"upTo,omitempty"`
+	Coeffs []float64 `json:"coeffs"`
+}
+
+// jsonCurve is the serialized form of one fitted curve.
+type jsonCurve struct {
+	Variant   string      `json:"variant"`
+	Op        string      `json:"op"`
+	Dimension string      `json:"dimension"`
+	Pieces    []jsonPiece `json:"pieces"`
+}
+
+type jsonModels struct {
+	Curves []jsonCurve `json:"curves"`
+}
+
+// WriteJSON serializes the models.
+func (m *Models) WriteJSON(w io.Writer) error {
+	doc := jsonModels{Curves: make([]jsonCurve, 0, len(m.curves))}
+	for k, cv := range m.curves {
+		jc := jsonCurve{
+			Variant:   string(k.Variant),
+			Op:        string(k.Op),
+			Dimension: string(k.Dim),
+		}
+		for _, p := range cv.pieces {
+			jp := jsonPiece{Coeffs: p.poly.Coeffs}
+			if !math.IsInf(p.upTo, 1) {
+				u := p.upTo
+				jp.UpTo = &u
+			}
+			jc.Pieces = append(jc.Pieces, jp)
+		}
+		doc.Curves = append(doc.Curves, jc)
+	}
+	sort.Slice(doc.Curves, func(i, j int) bool {
+		a, b := doc.Curves[i], doc.Curves[j]
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Dimension < b.Dimension
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON deserializes models previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Models, error) {
+	var doc jsonModels
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("perfmodel: decoding models: %w", err)
+	}
+	m := NewModels()
+	for _, c := range doc.Curves {
+		if len(c.Pieces) == 0 {
+			return nil, fmt.Errorf("perfmodel: curve %s/%s/%s has no pieces", c.Variant, c.Op, c.Dimension)
+		}
+		cv := curve{}
+		for i, jp := range c.Pieces {
+			if len(jp.Coeffs) == 0 {
+				return nil, fmt.Errorf("perfmodel: curve %s/%s/%s piece %d has no coefficients", c.Variant, c.Op, c.Dimension, i)
+			}
+			upTo := math.Inf(1)
+			if jp.UpTo != nil {
+				upTo = *jp.UpTo
+			}
+			cv.pieces = append(cv.pieces, piece{upTo: upTo, poly: polyfit.Poly{Coeffs: jp.Coeffs}})
+		}
+		m.curves[key{collections.VariantID(c.Variant), Op(c.Op), Dimension(c.Dimension)}] = cv
+	}
+	return m, nil
+}
+
+// SaveFile writes the models to path.
+func (m *Models) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.WriteJSON(f)
+}
+
+// LoadFile reads models from path.
+func LoadFile(path string) (*Models, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,229 @@
+// Package perfmodel implements the paper's performance-model component: the
+// factorial benchmark plan of Table 3, empirical model building on the
+// target machine, least-squares cubic cost models per collection variant and
+// critical operation, and the analytic default models that ship with the
+// framework so it can select variants without a benchmarking pass.
+//
+// A model answers cost_{op,V}(s): the averaged cost of critical operation op
+// on variant V at collection size s, per cost dimension (execution time,
+// bytes allocated, retained footprint). The selection engine combines these
+// into the total-cost estimate TC_D(V) of Section 3.1.1.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/collections"
+	"repro/internal/polyfit"
+)
+
+// Op is a critical collection operation — one whose cost is linear or worse
+// on at least one variant (Section 4.1.2).
+type Op string
+
+// The four critical operations of Table 3. Populate is charged per complete
+// population of a collection to its maximum size; the others are charged per
+// call at the collection's maximum size.
+const (
+	OpPopulate Op = "populate"
+	OpContains Op = "contains"
+	OpIterate  Op = "iterate"
+	OpMiddle   Op = "middle"
+)
+
+// Ops lists all critical operations in Table 3 order.
+func Ops() []Op { return []Op{OpPopulate, OpContains, OpIterate, OpMiddle} }
+
+// Dimension is a performance cost dimension (Section 3.1.2).
+type Dimension string
+
+// The cost dimensions modeled in this reproduction. (The paper names energy
+// as future work.)
+const (
+	DimTimeNS    Dimension = "time-ns"   // execution time, nanoseconds
+	DimAllocB    Dimension = "alloc-b"   // bytes allocated during the operation
+	DimFootprint Dimension = "footprint" // retained bytes at size s
+)
+
+// Dimensions lists all modeled cost dimensions, including the synthesized
+// energy dimension (see energy.go).
+func Dimensions() []Dimension {
+	return []Dimension{DimTimeNS, DimAllocB, DimFootprint, DimEnergy}
+}
+
+// key identifies one fitted curve.
+type key struct {
+	Variant collections.VariantID
+	Op      Op
+	Dim     Dimension
+}
+
+// piece is one segment of a cost curve: poly applies for sizes <= upTo.
+// The final piece of every curve has upTo = +Inf.
+type piece struct {
+	upTo float64
+	poly polyfit.Poly
+}
+
+// curve is a piecewise-polynomial cost function. Non-adaptive variants use
+// a single piece; adaptive variants get one polynomial per representation
+// regime with the break at their transition threshold — a single cubic
+// cannot follow the kinked cost function of an array→hash collection
+// without inventing phantom costs on one side of the threshold.
+type curve struct {
+	pieces []piece
+}
+
+func (c curve) eval(s float64) float64 {
+	for _, p := range c.pieces {
+		if s <= p.upTo {
+			return p.poly.Eval(s)
+		}
+	}
+	if n := len(c.pieces); n > 0 {
+		return c.pieces[n-1].poly.Eval(s)
+	}
+	return 0
+}
+
+// Models holds the fitted cost curves for a set of collection variants.
+// The zero value is empty; use Set/Cost to populate and query. Models are
+// safe for concurrent reads after construction.
+type Models struct {
+	curves map[key]curve
+}
+
+// NewModels returns an empty model set.
+func NewModels() *Models {
+	return &Models{curves: make(map[key]curve)}
+}
+
+// Set stores a single-polynomial cost curve for (variant, op, dim),
+// replacing any previous curve.
+func (m *Models) Set(v collections.VariantID, op Op, dim Dimension, p polyfit.Poly) {
+	m.curves[key{v, op, dim}] = curve{pieces: []piece{{upTo: math.Inf(1), poly: p}}}
+}
+
+// SetPiecewise stores a two-regime cost curve: below applies for sizes up
+// to threshold, above beyond it. Used for the adaptive variants, whose cost
+// functions kink at the representation transition.
+func (m *Models) SetPiecewise(v collections.VariantID, op Op, dim Dimension, threshold float64, below, above polyfit.Poly) {
+	m.curves[key{v, op, dim}] = curve{pieces: []piece{
+		{upTo: threshold, poly: below},
+		{upTo: math.Inf(1), poly: above},
+	}}
+}
+
+// Has reports whether a curve exists for (variant, op, dim).
+func (m *Models) Has(v collections.VariantID, op Op, dim Dimension) bool {
+	_, ok := m.curves[key{v, op, dim}]
+	return ok
+}
+
+// Cost evaluates cost_{op,V}(size) on dimension dim. Negative evaluations
+// (possible near the origin of a least-squares cubic) are clamped to zero.
+// Querying a missing curve panics: the engine must never silently compare a
+// modeled variant with an unmodeled one.
+func (m *Models) Cost(v collections.VariantID, op Op, dim Dimension, size float64) float64 {
+	cv, ok := m.curves[key{v, op, dim}]
+	if !ok {
+		panic(fmt.Sprintf("perfmodel: no curve for %s/%s/%s", v, op, dim))
+	}
+	c := cv.eval(size)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Curve returns the stored polynomial for (variant, op, dim) when it is a
+// single-piece curve; piecewise curves report ok = false (use Cost or
+// CurveString for those).
+func (m *Models) Curve(v collections.VariantID, op Op, dim Dimension) (polyfit.Poly, bool) {
+	cv, ok := m.curves[key{v, op, dim}]
+	if !ok || len(cv.pieces) != 1 {
+		return polyfit.Poly{}, false
+	}
+	return cv.pieces[0].poly, true
+}
+
+// CurveString renders the stored curve, piecewise or not.
+func (m *Models) CurveString(v collections.VariantID, op Op, dim Dimension) (string, bool) {
+	cv, ok := m.curves[key{v, op, dim}]
+	if !ok {
+		return "", false
+	}
+	if len(cv.pieces) == 1 {
+		return cv.pieces[0].poly.String(), true
+	}
+	parts := make([]string, len(cv.pieces))
+	for i, p := range cv.pieces {
+		if math.IsInf(p.upTo, 1) {
+			parts[i] = fmt.Sprintf("x>prev: %s", p.poly)
+		} else {
+			parts[i] = fmt.Sprintf("x<=%g: %s", p.upTo, p.poly)
+		}
+	}
+	return strings.Join(parts, " | "), true
+}
+
+// Variants returns the sorted list of variant IDs with at least one curve.
+func (m *Models) Variants() []collections.VariantID {
+	seen := make(map[collections.VariantID]bool)
+	for k := range m.curves {
+		seen[k.Variant] = true
+	}
+	out := make([]collections.VariantID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of stored curves.
+func (m *Models) Len() int { return len(m.curves) }
+
+// Merge copies every curve of other into m, overwriting duplicates.
+func (m *Models) Merge(other *Models) {
+	for k, p := range other.curves {
+		m.curves[k] = p
+	}
+}
+
+// combine builds f(a, b) piecewise, merging the two curves' breakpoints.
+func combine(a, b curve, f func(pa, pb polyfit.Poly) polyfit.Poly) curve {
+	bounds := map[float64]bool{}
+	for _, p := range a.pieces {
+		bounds[p.upTo] = true
+	}
+	for _, p := range b.pieces {
+		bounds[p.upTo] = true
+	}
+	cuts := make([]float64, 0, len(bounds))
+	for u := range bounds {
+		cuts = append(cuts, u)
+	}
+	sort.Float64s(cuts)
+	segAt := func(c curve, x float64) polyfit.Poly {
+		for _, p := range c.pieces {
+			if x <= p.upTo {
+				return p.poly
+			}
+		}
+		return c.pieces[len(c.pieces)-1].poly
+	}
+	out := curve{pieces: make([]piece, 0, len(cuts))}
+	for _, u := range cuts {
+		// Pick a representative x inside this segment.
+		x := u
+		if math.IsInf(u, 1) {
+			x = math.MaxFloat64
+		}
+		out.pieces = append(out.pieces, piece{upTo: u, poly: f(segAt(a, x), segAt(b, x))})
+	}
+	return out
+}

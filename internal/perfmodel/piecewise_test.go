@@ -1,0 +1,167 @@
+package perfmodel
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/collections"
+	"repro/internal/polyfit"
+)
+
+func TestSetPiecewiseEval(t *testing.T) {
+	m := NewModels()
+	below := polyfit.Poly{Coeffs: []float64{10, 1}}  // 10 + x
+	above := polyfit.Poly{Coeffs: []float64{100, 2}} // 100 + 2x
+	m.SetPiecewise(collections.AdaptiveSetID, OpContains, DimTimeNS, 40, below, above)
+	if got := m.Cost(collections.AdaptiveSetID, OpContains, DimTimeNS, 20); got != 30 {
+		t.Fatalf("below-threshold Cost = %g, want 30", got)
+	}
+	if got := m.Cost(collections.AdaptiveSetID, OpContains, DimTimeNS, 40); got != 50 {
+		t.Fatalf("at-threshold Cost = %g, want 50 (inclusive below)", got)
+	}
+	if got := m.Cost(collections.AdaptiveSetID, OpContains, DimTimeNS, 100); got != 300 {
+		t.Fatalf("above-threshold Cost = %g, want 300", got)
+	}
+}
+
+func TestCurveSingleVsPiecewise(t *testing.T) {
+	m := NewModels()
+	m.Set(collections.ArraySetID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{1}})
+	m.SetPiecewise(collections.AdaptiveSetID, OpContains, DimTimeNS, 40,
+		polyfit.Poly{Coeffs: []float64{1}}, polyfit.Poly{Coeffs: []float64{2}})
+	if _, ok := m.Curve(collections.ArraySetID, OpContains, DimTimeNS); !ok {
+		t.Error("single-piece Curve not retrievable")
+	}
+	if _, ok := m.Curve(collections.AdaptiveSetID, OpContains, DimTimeNS); ok {
+		t.Error("piecewise curve wrongly exposed as a single polynomial")
+	}
+	s, ok := m.CurveString(collections.AdaptiveSetID, OpContains, DimTimeNS)
+	if !ok || !strings.Contains(s, "x<=40") {
+		t.Errorf("CurveString = %q, %v", s, ok)
+	}
+	if _, ok := m.CurveString(collections.HashSetID, OpContains, DimTimeNS); ok {
+		t.Error("CurveString for missing curve reported ok")
+	}
+}
+
+func TestDefaultAdaptiveCurvesArePiecewise(t *testing.T) {
+	m := Default()
+	for _, id := range []collections.VariantID{
+		collections.AdaptiveListID, collections.AdaptiveSetID, collections.AdaptiveMapID,
+	} {
+		if _, single := m.Curve(id, OpContains, DimTimeNS); single {
+			t.Errorf("%s contains curve is not piecewise", id)
+		}
+	}
+	// Non-adaptive variants stay single-polynomial.
+	if _, single := m.Curve(collections.ArrayListID, OpContains, DimTimeNS); !single {
+		t.Error("ArrayList curve became piecewise")
+	}
+}
+
+func TestPiecewiseDefaultsTrackAnalyticBelowThreshold(t *testing.T) {
+	// The motivating bug: a single cubic invented phantom adaptive costs
+	// below the threshold. The piecewise defaults must track the analytic
+	// function on both sides.
+	m := Default()
+	for _, s := range []float64{10, 30, 60, 79, 81, 150, 500} {
+		want, ok := AnalyticCost(collections.AdaptiveListID, OpContains, DimTimeNS, s)
+		if !ok {
+			t.Fatal("no analytic cost")
+		}
+		got := m.Cost(collections.AdaptiveListID, OpContains, DimTimeNS, s)
+		if math.Abs(got-want) > 0.10*want+2 {
+			t.Errorf("adaptive contains at %g: fitted %g vs analytic %g", s, got, want)
+		}
+	}
+}
+
+func TestAdaptiveBeatsHashArrayOnMixedH2Workload(t *testing.T) {
+	// Regression for the h2 selection: with piecewise models, the mixed
+	// small/large lookup-heavy cursor workload must cost less on
+	// AdaptiveList than on HashArrayList (small instances avoid the bag).
+	m := Default()
+	totalAdaptive, totalHashArray := 0.0, 0.0
+	charge := func(size, probes float64) {
+		totalAdaptive += m.Cost(collections.AdaptiveListID, OpPopulate, DimTimeNS, size) +
+			probes*m.Cost(collections.AdaptiveListID, OpContains, DimTimeNS, size)
+		totalHashArray += m.Cost(collections.HashArrayListID, OpPopulate, DimTimeNS, size) +
+			probes*m.Cost(collections.HashArrayListID, OpContains, DimTimeNS, size)
+	}
+	for i := 0; i < 90; i++ {
+		charge(16, 58)
+	}
+	for i := 0; i < 10; i++ {
+		charge(200, 610)
+	}
+	if totalAdaptive >= totalHashArray {
+		t.Fatalf("adaptive %g not cheaper than hasharray %g on mixed workload",
+			totalAdaptive, totalHashArray)
+	}
+}
+
+func TestJSONRoundTripPiecewise(t *testing.T) {
+	m := NewModels()
+	m.SetPiecewise(collections.AdaptiveSetID, OpContains, DimTimeNS, 40,
+		polyfit.Poly{Coeffs: []float64{10, 1}}, polyfit.Poly{Coeffs: []float64{100, 2}})
+	m.Set(collections.HashSetID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{5}})
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"upTo": 40`) {
+		t.Errorf("serialized form missing piece bound:\n%s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []float64{20, 40, 41, 500} {
+		a := m.Cost(collections.AdaptiveSetID, OpContains, DimTimeNS, s)
+		b := back.Cost(collections.AdaptiveSetID, OpContains, DimTimeNS, s)
+		if a != b {
+			t.Fatalf("round trip diverges at %g: %g vs %g", s, a, b)
+		}
+	}
+}
+
+func TestJSONRejectsEmptyPieces(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString(`{"curves":[{"variant":"x","op":"y","dimension":"z","pieces":[]}]}`)); err == nil {
+		t.Error("curve without pieces accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"curves":[{"variant":"x","op":"y","dimension":"z","pieces":[{"coeffs":[]}]}]}`)); err == nil {
+		t.Error("piece without coefficients accepted")
+	}
+}
+
+func TestEnergySynthesisPiecewise(t *testing.T) {
+	// Energy curves of adaptive variants must follow the piecewise time
+	// and alloc curves on both sides of the threshold.
+	m := Default()
+	pf := PowerFactor(collections.AdaptiveSetID)
+	for _, s := range []float64{20, 200} {
+		timeC := m.Cost(collections.AdaptiveSetID, OpPopulate, DimTimeNS, s)
+		allocC := m.Cost(collections.AdaptiveSetID, OpPopulate, DimAllocB, s)
+		want := pf*timeC + allocEnergyPerByte*allocC
+		got := m.Cost(collections.AdaptiveSetID, OpPopulate, DimEnergy, s)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("adaptive energy at %g = %g, want %g", s, got, want)
+		}
+	}
+}
+
+func TestAdaptiveThresholdOf(t *testing.T) {
+	cases := map[collections.VariantID]float64{
+		collections.AdaptiveListID: 80,
+		collections.AdaptiveSetID:  40,
+		collections.AdaptiveMapID:  50,
+		collections.ArrayListID:    0,
+	}
+	for id, want := range cases {
+		if got := adaptiveThresholdOf(id); got != want {
+			t.Errorf("adaptiveThresholdOf(%s) = %g, want %g", id, got, want)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package rewrite
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/collections"
+)
+
+const sample = `package demo
+
+import (
+	"fmt"
+
+	"repro/internal/collections"
+)
+
+func build() {
+	l := collections.NewArrayList[int]()
+	s := collections.NewHashSet[string]()
+	m := collections.NewHashMap[string, int]()
+	l.Add(1)
+	s.Add("x")
+	m.Put("x", 1)
+	fmt.Println(l.Len(), s.Len(), m.Len())
+}
+`
+
+func TestScanFindsAllSites(t *testing.T) {
+	sites, err := ScanFile([]byte(sample), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("found %d sites, want 3", len(sites))
+	}
+	if sites[0].Kind != collections.ListAbstraction || sites[0].TypeArgs != "int" {
+		t.Errorf("site 0 = %+v", sites[0])
+	}
+	if sites[1].Kind != collections.SetAbstraction || sites[1].TypeArgs != "string" {
+		t.Errorf("site 1 = %+v", sites[1])
+	}
+	if sites[2].Kind != collections.MapAbstraction || sites[2].TypeArgs != "string, int" {
+		t.Errorf("site 2 = %+v", sites[2])
+	}
+	if sites[0].Line != 10 {
+		t.Errorf("site 0 line = %d, want 10", sites[0].Line)
+	}
+	if sites[0].Original != "collections.NewArrayList[int]()" {
+		t.Errorf("site 0 original = %q", sites[0].Original)
+	}
+}
+
+func TestRewriteProducesContexts(t *testing.T) {
+	out, sites, err := RewriteFile([]byte(sample), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("rewrote %d sites, want 3", len(sites))
+	}
+	text := string(out)
+	for _, want := range []string{
+		"switchCtx1.NewList()",
+		"switchCtx2.NewSet()",
+		"switchCtx3.NewMap()",
+		`"repro/internal/core"`,
+		"core.NewEngine(core.Config{})",
+		"core.NewListContext[int](switchEngine",
+		"core.NewSetContext[string](switchEngine",
+		"core.NewMapContext[string, int](switchEngine",
+		`core.WithName("demo.go:10")`,
+		`core.WithDefaultVariant("list/array")`,
+		`core.WithDefaultVariant("set/hash")`,
+		`core.WithDefaultVariant("map/hash")`,
+		Marker,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rewritten source missing %q\n---\n%s", want, text)
+		}
+	}
+	for _, gone := range []string{"collections.NewArrayList", "collections.NewHashSet", "collections.NewHashMap"} {
+		if strings.Contains(text, gone+"[") {
+			t.Errorf("rewritten source still contains %s", gone)
+		}
+	}
+	// The output must be parseable Go (RewriteFile verifies, double-check).
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "demo.go", out, 0); err != nil {
+		t.Fatalf("output does not parse: %v", err)
+	}
+}
+
+func TestRewriteIdempotent(t *testing.T) {
+	out, sites, err := RewriteFile([]byte(sample), "demo.go")
+	if err != nil || len(sites) == 0 {
+		t.Fatal(err)
+	}
+	again, sites2, err := RewriteFile(out, "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites2) != 0 {
+		t.Fatalf("second pass rewrote %d sites", len(sites2))
+	}
+	if string(again) != string(out) {
+		t.Fatal("second pass changed the file")
+	}
+}
+
+func TestRewriteLeavesNonDefaultConstructorsAlone(t *testing.T) {
+	src := `package demo
+
+import "repro/internal/collections"
+
+func build() {
+	a := collections.NewLinkedList[int]()      // not a default constructor
+	b := collections.NewArrayListCap[int](10)  // has args: explicit choice
+	c := collections.NewOpenHashSet[int]()     // alternative variant
+	_, _, _ = a, b, c
+}
+`
+	out, sites, err := RewriteFile([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 0 {
+		t.Fatalf("rewrote %d sites, want 0", len(sites))
+	}
+	if string(out) != src {
+		t.Fatal("file changed despite no rewritable sites")
+	}
+}
+
+func TestRewriteRespectsImportAlias(t *testing.T) {
+	src := `package demo
+
+import colls "repro/internal/collections"
+
+func build() {
+	l := colls.NewArrayList[int]()
+	l.Add(1)
+}
+`
+	out, sites, err := RewriteFile([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 {
+		t.Fatalf("found %d sites under alias, want 1", len(sites))
+	}
+	if !strings.Contains(string(out), "switchCtx1.NewList()") {
+		t.Error("aliased site not rewritten")
+	}
+}
+
+func TestRewriteSkipsFilesWithoutImport(t *testing.T) {
+	src := `package demo
+
+type NewArrayList struct{}
+
+func build() {}
+`
+	out, sites, err := RewriteFile([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 0 || string(out) != src {
+		t.Fatal("file without the collections import was modified")
+	}
+}
+
+func TestRewriteSingleLineImport(t *testing.T) {
+	src := `package demo
+
+import "repro/internal/collections"
+
+func build() {
+	l := collections.NewArrayList[int]()
+	_ = l
+}
+`
+	out, sites, err := RewriteFile([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "demo.go", out, 0); err != nil {
+		t.Fatalf("output does not parse: %v\n---\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `"repro/internal/core"`) {
+		t.Error("core import not added")
+	}
+}
+
+func TestScanRejectsInvalidGo(t *testing.T) {
+	if _, err := ScanFile([]byte("not go at all"), "bad.go"); err == nil {
+		t.Fatal("invalid source accepted")
+	}
+}
+
+func TestRewriteStructFieldUsage(t *testing.T) {
+	// Sites inside composite literals and nested expressions.
+	src := `package demo
+
+import "repro/internal/collections"
+
+type holder struct {
+	items interface{ Len() int }
+}
+
+func build() holder {
+	return holder{items: collections.NewHashSet[int]()}
+}
+`
+	out, sites, err := RewriteFile([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d, want 1", len(sites))
+	}
+	if !strings.Contains(string(out), "holder{items: switchCtx1.NewSet()}") {
+		t.Errorf("nested site not rewritten:\n%s", out)
+	}
+}
+
+func TestRewriteDropsFullyReplacedImport(t *testing.T) {
+	// Every collections use is rewritten: the import must disappear or
+	// the output will not compile.
+	src := `package demo
+
+import "repro/internal/collections"
+
+func Build() int {
+	l := collections.NewArrayList[int]()
+	l.Add(1)
+	return l.Len()
+}
+`
+	out, sites, err := RewriteFile([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	if strings.Contains(string(out), `"repro/internal/collections"`) {
+		t.Errorf("unused collections import survived:\n%s", out)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "demo.go", out, 0); err != nil {
+		t.Fatalf("output does not parse: %v\n%s", err, out)
+	}
+}
+
+func TestRewriteKeepsStillUsedImport(t *testing.T) {
+	// A remaining collections reference must keep the import.
+	src := `package demo
+
+import "repro/internal/collections"
+
+func Build() int {
+	l := collections.NewArrayList[int]()
+	x := collections.NewLinkedList[int]() // not rewritten
+	l.Add(1)
+	x.Add(2)
+	return l.Len() + x.Len()
+}
+`
+	out, sites, err := RewriteFile([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	if !strings.Contains(string(out), `"repro/internal/collections"`) {
+		t.Errorf("still-used collections import removed:\n%s", out)
+	}
+}

@@ -1,0 +1,148 @@
+// Package stats provides the statistical machinery the paper's evaluation
+// methodology calls for: summary statistics, Student-t confidence intervals
+// for steady-state measurements (Georges et al., OOPSLA'07), and the Tukey
+// HSD test used to decide which Table 5 differences are significant.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 if fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// t95 is the two-sided 95% Student-t critical value by degrees of freedom.
+// Entries cover small df exactly; larger df interpolate toward the normal
+// limit 1.960.
+var t95 = map[int]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	12: 2.179, 14: 2.145, 16: 2.120, 18: 2.101, 20: 2.086,
+	25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+// tCritical95 returns the two-sided 95% t critical value for df degrees of
+// freedom, interpolating between tabulated entries.
+func tCritical95(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if v, ok := t95[df]; ok {
+		return v
+	}
+	if df > 120 {
+		return 1.960
+	}
+	// Linear interpolation between the nearest tabulated dfs.
+	keys := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 18, 20, 25, 30, 40, 60, 120}
+	lo, hi := keys[0], keys[len(keys)-1]
+	for _, k := range keys {
+		if k <= df && k > lo {
+			lo = k
+		}
+		if k >= df && k < hi {
+			hi = k
+		}
+	}
+	if lo == hi {
+		return t95[lo]
+	}
+	f := float64(df-lo) / float64(hi-lo)
+	return t95[lo] + f*(t95[hi]-t95[lo])
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean of
+// xs (Student-t).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return tCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Summary bundles the statistics reported for one measurement series.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI95   float64 // half-width of the 95% CI of the mean
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), CI95: CI95(xs)}
+	for i, x := range xs {
+		if i == 0 || x < s.Min {
+			s.Min = x
+		}
+		if i == 0 || x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}

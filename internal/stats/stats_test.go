@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	// Sample variance of this classic series is 32/7.
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", v, 32.0/7.0)
+	}
+	if s := StdDev(xs); !almost(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %g", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("empty/singleton statistics should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd Median = %g, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even Median = %g, want 2.5", m)
+	}
+	if Median(nil) != 0 {
+		t.Error("empty Median should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {10, 10}, {50, 50}, {90, 90}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=10, sd=1 → CI = 2.262/sqrt(10) ≈ 0.7153.
+	xs := make([]float64, 10)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	// sd of alternating ±1 (n=10): variance = 10/9.
+	want := 2.262 * math.Sqrt(10.0/9.0) / math.Sqrt(10)
+	if got := CI95(xs); !almost(got, want, 1e-9) {
+		t.Errorf("CI95 = %g, want %g", got, want)
+	}
+	if CI95([]float64{5}) != 0 {
+		t.Error("CI95 of a single sample should be 0")
+	}
+}
+
+func TestTCriticalInterpolation(t *testing.T) {
+	if v := tCritical95(10); !almost(v, 2.228, 1e-9) {
+		t.Errorf("t(10) = %g", v)
+	}
+	// df=11 must sit between df=10 and df=12 values.
+	v := tCritical95(11)
+	if v >= 2.228 || v <= 2.179 {
+		t.Errorf("t(11) = %g, want in (2.179, 2.228)", v)
+	}
+	if v := tCritical95(1000); v != 1.960 {
+		t.Errorf("t(1000) = %g, want 1.960", v)
+	}
+	if !math.IsInf(tCritical95(0), 1) {
+		t.Error("t(0) should be +Inf")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.CI95 <= 0 {
+		t.Error("CI95 should be positive for varied samples")
+	}
+}
+
+func TestTukeyHSDDistinctGroups(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	mk := func(mean float64) []float64 {
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = mean + r.NormFloat64()*0.5
+		}
+		return xs
+	}
+	res, err := TukeyHSD(mk(10), mk(20), mk(10.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs are (0,1), (0,2), (1,2): groups 0 and 1 clearly differ,
+	// 0 and 2 clearly do not, 1 and 2 clearly differ.
+	get := func(a, b int) TukeyPair {
+		for _, p := range res.Pairs {
+			if p.A == a && p.B == b {
+				return p
+			}
+		}
+		t.Fatalf("missing pair (%d,%d)", a, b)
+		return TukeyPair{}
+	}
+	if !get(0, 1).Significant {
+		t.Error("groups 10 vs 20 not significant")
+	}
+	if get(0, 2).Significant {
+		t.Error("groups 10 vs 10.05 reported significant")
+	}
+	if !get(1, 2).Significant {
+		t.Error("groups 20 vs 10.05 not significant")
+	}
+}
+
+func TestTukeyHSDIdenticalGroups(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	mk := func() []float64 {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = 100 + r.NormFloat64()*3
+		}
+		return xs
+	}
+	res, err := TukeyHSD(mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs[0].Significant {
+		t.Errorf("identical populations reported significant: %+v", res.Pairs[0])
+	}
+}
+
+func TestTukeyHSDErrors(t *testing.T) {
+	if _, err := TukeyHSD([]float64{1, 2}); err == nil {
+		t.Error("single group accepted")
+	}
+	if _, err := TukeyHSD([]float64{1, 2}, []float64{3}); err == nil {
+		t.Error("singleton group accepted")
+	}
+}
+
+func TestTukeyHSDUnequalSizes(t *testing.T) {
+	a := []float64{10, 10.2, 9.8, 10.1, 9.9, 10.0, 10.1, 9.9}
+	b := []float64{15, 15.2, 14.8}
+	res, err := TukeyHSD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pairs[0].Significant {
+		t.Error("clearly separated unequal groups not significant")
+	}
+}
+
+func TestTukeyZeroVariance(t *testing.T) {
+	// All samples identical within and across groups: SE = 0, diff = 0.
+	res, err := TukeyHSD([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs[0].Significant {
+		t.Error("identical constant groups reported significant")
+	}
+	// Zero variance but different means: must be significant (q = +Inf).
+	res, err = TukeyHSD([]float64{5, 5, 5}, []float64{6, 6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pairs[0].Significant {
+		t.Error("constant groups with different means not significant")
+	}
+}
+
+func TestSignificantDiff(t *testing.T) {
+	a := []float64{100, 101, 99, 100, 100, 101, 99}
+	b := []float64{80, 81, 79, 80, 80, 81, 79}
+	sig, rel := SignificantDiff(a, b)
+	if !sig {
+		t.Error("20% improvement not significant")
+	}
+	if !almost(rel, -0.2, 0.01) {
+		t.Errorf("relChange = %g, want ~-0.2", rel)
+	}
+	if sig, _ := SignificantDiff([]float64{1}, []float64{2}); sig {
+		t.Error("degenerate input should not be significant")
+	}
+}
+
+func TestQCriticalMonotonicity(t *testing.T) {
+	// More groups → larger critical value; more df → smaller.
+	for df := 5; df <= 120; df *= 2 {
+		for k := 2; k < 6; k++ {
+			if qCritical05(k, df) >= qCritical05(k+1, df) {
+				t.Errorf("q not increasing in k at df=%d k=%d", df, k)
+			}
+		}
+	}
+	for k := 2; k <= 6; k++ {
+		if qCritical05(k, 5) <= qCritical05(k, 60) {
+			t.Errorf("q not decreasing in df for k=%d", k)
+		}
+	}
+	// Clamping.
+	if qCritical05(1, 10) != qCritical05(2, 10) {
+		t.Error("k<2 not clamped")
+	}
+	if qCritical05(50, 10) != qCritical05(6, 10) {
+		t.Error("k>6 not clamped")
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := sortedCopy(xs)
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Error("sortedCopy mutated input")
+	}
+	if !reflect.DeepEqual(s, []float64{1, 2, 3}) {
+		t.Errorf("sortedCopy = %v", s)
+	}
+}
+
+// Property: mean of a shifted series equals shifted mean; variance is
+// shift-invariant and scales quadratically.
+func TestMeanVarianceProperties(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+			xs = append(xs, x)
+		}
+		shift = math.Mod(shift, 1e6)
+		shifted := make([]float64, len(xs))
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+			scaled[i] = 2 * x
+		}
+		tolM := 1e-6 * (1 + math.Abs(Mean(xs)) + math.Abs(shift))
+		tolV := 1e-6 * (1 + Variance(xs))
+		return almost(Mean(shifted), Mean(xs)+shift, tolM) &&
+			almost(Variance(shifted), Variance(xs), tolV) &&
+			almost(Variance(scaled), 4*Variance(xs), 4*tolV)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// qTable05 holds critical values of the studentized range distribution at
+// α = 0.05 for k = 2..6 treatment groups, indexed by within-group degrees of
+// freedom. Values between tabulated dfs are interpolated linearly; dfs above
+// the largest entry use the asymptotic row.
+var qTable05 = []struct {
+	df int
+	q  [5]float64 // k = 2, 3, 4, 5, 6
+}{
+	{2, [5]float64{6.08, 8.33, 9.80, 10.88, 11.73}},
+	{3, [5]float64{4.50, 5.91, 6.82, 7.50, 8.04}},
+	{4, [5]float64{3.93, 5.04, 5.76, 6.29, 6.71}},
+	{5, [5]float64{3.64, 4.60, 5.22, 5.67, 6.03}},
+	{6, [5]float64{3.46, 4.34, 4.90, 5.30, 5.63}},
+	{7, [5]float64{3.34, 4.16, 4.68, 5.06, 5.36}},
+	{8, [5]float64{3.26, 4.04, 4.53, 4.89, 5.17}},
+	{9, [5]float64{3.20, 3.95, 4.41, 4.76, 5.02}},
+	{10, [5]float64{3.15, 3.88, 4.33, 4.65, 4.91}},
+	{12, [5]float64{3.08, 3.77, 4.20, 4.51, 4.75}},
+	{14, [5]float64{3.03, 3.70, 4.11, 4.41, 4.64}},
+	{16, [5]float64{3.00, 3.65, 4.05, 4.33, 4.56}},
+	{18, [5]float64{2.97, 3.61, 4.00, 4.28, 4.49}},
+	{20, [5]float64{2.95, 3.58, 3.96, 4.23, 4.45}},
+	{24, [5]float64{2.92, 3.53, 3.90, 4.17, 4.37}},
+	{30, [5]float64{2.89, 3.49, 3.85, 4.10, 4.30}},
+	{40, [5]float64{2.86, 3.44, 3.79, 4.04, 4.23}},
+	{60, [5]float64{2.83, 3.40, 3.74, 3.98, 4.16}},
+	{120, [5]float64{2.80, 3.36, 3.68, 3.92, 4.10}},
+	{1 << 30, [5]float64{2.77, 3.31, 3.63, 3.86, 4.03}},
+}
+
+// qCritical05 returns the α=0.05 studentized-range critical value for k
+// groups and df within-group degrees of freedom. k is clamped to [2, 6].
+func qCritical05(k, df int) float64 {
+	if k < 2 {
+		k = 2
+	}
+	if k > 6 {
+		k = 6
+	}
+	col := k - 2
+	if df <= qTable05[0].df {
+		return qTable05[0].q[col]
+	}
+	for i := 1; i < len(qTable05); i++ {
+		if df <= qTable05[i].df {
+			lo, hi := qTable05[i-1], qTable05[i]
+			f := float64(df-lo.df) / float64(hi.df-lo.df)
+			return lo.q[col] + f*(hi.q[col]-lo.q[col])
+		}
+	}
+	return qTable05[len(qTable05)-1].q[k-2]
+}
+
+// TukeyPair reports one pairwise comparison of the Tukey HSD test.
+type TukeyPair struct {
+	A, B        int     // group indices
+	MeanDiff    float64 // mean(A) - mean(B)
+	Q           float64 // studentized range statistic |diff| / SE
+	QCritical   float64 // α=0.05 critical value
+	Significant bool
+}
+
+// TukeyResult is the outcome of a Tukey HSD test over several groups.
+type TukeyResult struct {
+	GroupMeans []float64
+	MSE        float64 // within-group mean square error
+	DF         int     // within-group degrees of freedom
+	Pairs      []TukeyPair
+}
+
+// ErrTukey is returned for inputs the test cannot process.
+var ErrTukey = errors.New("stats: Tukey HSD needs >= 2 groups with >= 2 samples each")
+
+// TukeyHSD runs the Tukey honestly-significant-difference test at α = 0.05
+// over the sample groups — the test the paper applies to decide which
+// DaCapo time/memory deltas are reported as significant. Unequal group
+// sizes use the Tukey-Kramer standard error.
+func TukeyHSD(groups ...[]float64) (TukeyResult, error) {
+	if len(groups) < 2 {
+		return TukeyResult{}, ErrTukey
+	}
+	var res TukeyResult
+	total := 0
+	for _, g := range groups {
+		if len(g) < 2 {
+			return TukeyResult{}, ErrTukey
+		}
+		total += len(g)
+		res.GroupMeans = append(res.GroupMeans, Mean(g))
+	}
+	// Within-group (error) sum of squares.
+	var sse float64
+	for i, g := range groups {
+		for _, x := range g {
+			d := x - res.GroupMeans[i]
+			sse += d * d
+		}
+	}
+	res.DF = total - len(groups)
+	res.MSE = sse / float64(res.DF)
+	qc := qCritical05(len(groups), res.DF)
+	for a := 0; a < len(groups); a++ {
+		for b := a + 1; b < len(groups); b++ {
+			diff := res.GroupMeans[a] - res.GroupMeans[b]
+			// Tukey-Kramer SE for unequal group sizes.
+			se := math.Sqrt(res.MSE / 2 * (1/float64(len(groups[a])) + 1/float64(len(groups[b]))))
+			q := 0.0
+			if se > 0 {
+				q = math.Abs(diff) / se
+			} else if diff != 0 {
+				q = math.Inf(1)
+			}
+			res.Pairs = append(res.Pairs, TukeyPair{
+				A: a, B: b,
+				MeanDiff:    diff,
+				Q:           q,
+				QCritical:   qc,
+				Significant: q > qc,
+			})
+		}
+	}
+	return res, nil
+}
+
+// SignificantDiff runs a two-group Tukey HSD and reports whether the means
+// differ significantly at α = 0.05, along with the relative change of b
+// versus a ((mean(b)-mean(a))/mean(a)).
+func SignificantDiff(a, b []float64) (significant bool, relChange float64) {
+	res, err := TukeyHSD(a, b)
+	if err != nil {
+		return false, 0
+	}
+	ma := res.GroupMeans[0]
+	rel := 0.0
+	if ma != 0 {
+		rel = (res.GroupMeans[1] - ma) / ma
+	}
+	return res.Pairs[0].Significant, rel
+}
+
+// sortedCopy returns xs sorted ascending (used by tests and reports).
+func sortedCopy(xs []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/collections"
+)
+
+// The hook variants of the single-phase runners are used when the factory
+// comes from a CollectionSwitch allocation context: the hook runs between
+// instance batches, giving the caller a place to force a GC (so monitors'
+// weak references clear) and drive the analysis engine — the role the JVM's
+// GC and the background analyzer thread play in the paper's setup.
+
+// SinglePhaseListHook is SinglePhaseList with a periodic hook invoked every
+// `every` instances.
+func SinglePhaseListHook(newList func() collections.List[int], instances, size, lookups int, seed int64, every int, hook func()) (Result, int) {
+	r := rand.New(rand.NewSource(seed))
+	keys := r.Perm(size * 2)[:size]
+	probes := make([]int, 128)
+	for i := range probes {
+		probes[i] = r.Intn(size * 2)
+	}
+	if every <= 0 {
+		every = instances
+	}
+	sink := 0
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < instances; i++ {
+		l := newList()
+		for _, k := range keys {
+			l.Add(k)
+		}
+		for j := 0; j < lookups; j++ {
+			if l.Contains(probes[j%len(probes)]) {
+				sink++
+			}
+		}
+		if (i+1)%every == 0 && hook != nil {
+			hook()
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{Elapsed: elapsed, AllocBytes: after.TotalAlloc - before.TotalAlloc}, sink
+}
+
+// SinglePhaseSetHook is SinglePhaseSet with a periodic hook.
+func SinglePhaseSetHook(newSet func() collections.Set[int], instances, size, lookups int, seed int64, every int, hook func()) (Result, int) {
+	r := rand.New(rand.NewSource(seed))
+	keys := r.Perm(size * 2)[:size]
+	probes := make([]int, 128)
+	for i := range probes {
+		probes[i] = r.Intn(size * 2)
+	}
+	if every <= 0 {
+		every = instances
+	}
+	sink := 0
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < instances; i++ {
+		s := newSet()
+		for _, k := range keys {
+			s.Add(k)
+		}
+		for j := 0; j < lookups; j++ {
+			if s.Contains(probes[j%len(probes)]) {
+				sink++
+			}
+		}
+		if (i+1)%every == 0 && hook != nil {
+			hook()
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{Elapsed: elapsed, AllocBytes: after.TotalAlloc - before.TotalAlloc}, sink
+}
+
+// SinglePhaseMapHook is SinglePhaseMap with a periodic hook.
+func SinglePhaseMapHook(newMap func() collections.Map[int, int], instances, size, lookups int, seed int64, every int, hook func()) (Result, int) {
+	r := rand.New(rand.NewSource(seed))
+	keys := r.Perm(size * 2)[:size]
+	probes := make([]int, 128)
+	for i := range probes {
+		probes[i] = r.Intn(size * 2)
+	}
+	if every <= 0 {
+		every = instances
+	}
+	sink := 0
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < instances; i++ {
+		m := newMap()
+		for _, k := range keys {
+			m.Put(k, k)
+		}
+		for j := 0; j < lookups; j++ {
+			if _, ok := m.Get(probes[j%len(probes)]); ok {
+				sink++
+			}
+		}
+		if (i+1)%every == 0 && hook != nil {
+			hook()
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{Elapsed: elapsed, AllocBytes: after.TotalAlloc - before.TotalAlloc}, sink
+}
+
+// MultiPhaseIterationHook is MultiPhaseIteration with a periodic hook
+// invoked every `every` instances.
+func MultiPhaseIterationHook(newList func() collections.List[int], phase Phase, instances, size, ops int, seed int64, every int, hook func()) (time.Duration, int) {
+	r := rand.New(rand.NewSource(seed))
+	keys := r.Perm(size * 2)[:size]
+	probes := make([]int, 128)
+	for i := range probes {
+		probes[i] = r.Intn(size * 2)
+	}
+	if every <= 0 {
+		every = instances
+	}
+	sink := 0
+	start := time.Now()
+	for i := 0; i < instances; i++ {
+		l := newList()
+		for _, k := range keys {
+			l.Add(k)
+		}
+		switch phase {
+		case PhaseContains, PhaseContains2:
+			for j := 0; j < ops; j++ {
+				if l.Contains(probes[j%len(probes)]) {
+					sink++
+				}
+			}
+		case PhaseIteration:
+			for j := 0; j < ops; j++ {
+				l.ForEach(func(v int) bool { sink += v; return true })
+			}
+		case PhaseIndex:
+			for j := 0; j < ops; j++ {
+				sink += l.Get(j % l.Len())
+			}
+		case PhaseSearchRemove:
+			for j := 0; j < ops && l.Len() > 0; j++ {
+				v := probes[j%len(probes)]
+				if l.Remove(v) {
+					sink++
+				}
+			}
+		}
+		if (i+1)%every == 0 && hook != nil {
+			hook()
+		}
+	}
+	return time.Since(start), sink
+}
