@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 )
 
@@ -27,6 +28,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	modelsPath := flag.String("models", "", "optional perfmodel JSON built by cmd/perfmodel")
+	tracePath := flag.String("trace", "", "write structured framework events (JSONL) to this file")
+	metrics := flag.Bool("metrics", false, "print a metrics summary after each experiment")
 	flag.Parse()
 
 	if *list {
@@ -59,6 +62,29 @@ func main() {
 		models = m
 	}
 
+	// Observability wiring: engines of the engine-driven experiments share
+	// one metrics registry, and -trace exports their event streams as
+	// JSONL (the Table 6 rows are exactly reconstructible from that file
+	// via experiments.Table6FromEvents / obs.ReadAll).
+	o := experiments.Obs{Metrics: obs.NewRegistry()}
+	var traceSink *obs.JSONLSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating trace file: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := traceSink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "flushing trace: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
+		}()
+		traceSink = obs.NewJSONLSink(f)
+		o.Sink = traceSink
+	}
+
 	w := os.Stdout
 	run := func(id string) {
 		switch id {
@@ -69,22 +95,28 @@ func main() {
 		case "table4":
 			experiments.PrintTable4(w)
 		case "fig5":
-			experiments.PrintFig5(w, experiments.RunFig5(sc))
+			experiments.PrintFig5(w, experiments.RunFig5Obs(sc, o))
 		case "fig6":
-			experiments.PrintFig6(w, experiments.RunFig6(sc))
+			experiments.PrintFig6(w, experiments.RunFig6Obs(sc, o))
 		case "fig7":
 			experiments.PrintFig7(w, experiments.RunFig7(models))
 		case "table5", "table6":
-			rows := experiments.RunTable5(sc)
+			rows := experiments.RunTable5Obs(sc, o)
 			experiments.PrintTable5(w, rows)
 			experiments.PrintTable6(w, experiments.Table6From(rows))
 		case "overhead":
-			experiments.PrintOverhead(w, experiments.RunOverhead(sc))
+			experiments.PrintOverhead(w, experiments.RunOverheadObs(sc, o))
 		case "ablation":
 			experiments.PrintAblation(w, experiments.RunAblation(sc))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
+		}
+		if *metrics {
+			fmt.Fprintf(w, "\n== metrics after %s ==\n", id)
+			if _, err := o.Metrics.WriteTo(w); err != nil {
+				fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+			}
 		}
 	}
 

@@ -1,12 +1,18 @@
-// telemetry: the paper's Section 7 future work in action — sorted
-// collections and the energy cost dimension.
+// telemetry: an end-to-end tour of the observability layer (package obs)
+// on a telemetry-service workload that also exercises the paper's Section 7
+// future work (sorted collections, the energy cost dimension).
 //
-// A telemetry service stores per-sensor readings in sorted maps (the
-// range-query substrate the paper planned to add as candidates) and builds
-// per-query aggregation sets through a CollectionSwitch context running the
-// Renergy rule, which trades under the synthesized energy model: switch
-// when a candidate's estimated energy cost is below 0.8x the current
-// variant's without exceeding 1.2x its time.
+// A telemetry service stores per-sensor readings in sorted maps and builds
+// per-query alert sets through a CollectionSwitch context running the
+// Renergy rule. The engine is wired with the full observability stack:
+//
+//   - a JSONL sink exporting every framework event to a trace file, which
+//     the program re-reads and decodes afterwards (the -trace machinery of
+//     cmd/experiments, in miniature);
+//   - a ring buffer keeping the most recent events in memory, the shape an
+//     always-on service would expose from a debug endpoint;
+//   - a shared metrics registry, rendered as a Prometheus-text summary and
+//     published through expvar.
 //
 // Run with: go run ./examples/telemetry
 package main
@@ -14,10 +20,13 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro/internal/collections"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 const (
@@ -30,7 +39,6 @@ func main() {
 	r := rand.New(rand.NewSource(17))
 
 	// Each sensor's time series lives in a sorted map: timestamp -> value.
-	// Sorted maps give the window queries below O(log n + matches).
 	series := make([]collections.SortedMap[int, int], sensors)
 	for i := range series {
 		if i%2 == 0 {
@@ -47,12 +55,28 @@ func main() {
 		}
 	}
 
-	// The per-query "sensors over threshold" sets flow through an
-	// adaptive allocation context under the energy rule.
-	engine := core.NewEngineManual(core.Config{Rule: core.Renergy()})
-	defer engine.Close()
+	// Observability wiring: JSONL trace file + in-memory ring + metrics.
+	tracePath := filepath.Join(os.TempDir(), "telemetry-trace.jsonl")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "creating trace file:", err)
+		os.Exit(1)
+	}
+	jsonl := obs.NewJSONLSink(f)
+	ring := obs.NewRingSink(8)
+	metrics := obs.NewRegistry()
+	metrics.PublishExpvar("collectionswitch") // curl /debug/vars in a real service
+
+	engine := core.NewEngineManual(core.Config{
+		Rule:    core.Renergy(),
+		Name:    "telemetry",
+		Sink:    obs.Multi(jsonl, ring),
+		Metrics: metrics,
+	})
 	ctx := core.NewSetContext[int](engine, core.WithName("telemetry/AlertSet"))
 
+	// The per-query "sensors over threshold" sets flow through the
+	// adaptive allocation context under the energy rule.
 	alerts := 0
 	for q := 0; q < queries; q++ {
 		from := r.Intn(readings - 100)
@@ -68,7 +92,6 @@ func main() {
 				return true
 			})
 		}
-		// Downstream checks probe the alert set.
 		for p := 0; p < 16; p++ {
 			if hot.Contains(r.Intn(sensors)) {
 				alerts++
@@ -79,20 +102,51 @@ func main() {
 			engine.AnalyzeNow()
 		}
 	}
+	engine.Close() // emits EngineClosed into both sinks
 
 	fmt.Printf("alerts observed: %d\n", alerts)
 	fmt.Printf("alert-set variant under %s: %s\n",
 		engine.Config().Rule.Name, ctx.CurrentVariant())
-	for _, tr := range engine.Transitions() {
-		fmt.Printf("  transition: %s -> %s (energy ratio %.2f)\n",
-			tr.From, tr.To, tr.Ratios["energy-nj"])
+
+	// 1. The JSONL trace round-trips through obs.Decode: everything the
+	// engine did is reconstructible offline, transition ratios included.
+	if err := jsonl.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "flushing trace:", err)
+	}
+	f.Close()
+	f, err = os.Open(tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reopening trace:", err)
+		os.Exit(1)
+	}
+	events, err := obs.ReadAll(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decoding trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntrace: %d events in %s\n", len(events), tracePath)
+	for _, ev := range events {
+		if t, ok := ev.(obs.Transition); ok {
+			fmt.Printf("  transition (round %d): %s -> %s (energy ratio %.2f)\n",
+				t.Round, t.From, t.To, t.Ratios["energy-nj"])
+		}
 	}
 
-	// Show a sorted-map range query directly.
-	min, _ := series[0].MinKey()
-	max, _ := series[0].MaxKey()
-	count := 0
-	series[0].Range(min, min+50, func(_, _ int) bool { count++; return true })
-	fmt.Printf("sensor 0: %d readings spanning [%d, %d]; %d in the first 50 ticks\n",
-		series[0].Len(), min, max, count)
+	// 2. The ring buffer holds the most recent events — what a debug
+	// endpoint would show without retaining the full history.
+	fmt.Printf("\nring buffer: last %d of %d events\n", ring.Len(), ring.Total())
+	for _, ev := range ring.Events() {
+		fmt.Printf("  [%s] %s\n", ev.EventKind(), obs.Line(ev))
+	}
+
+	// 3. The metrics registry summarizes the run; the monitored fraction is
+	// the paper's overhead argument in one number.
+	fmt.Printf("\nmonitored fraction: %.3f (%d of %d instances)\n",
+		metrics.MonitoredFraction(),
+		metrics.InstancesMonitored.Load(), metrics.InstancesCreated.Load())
+	fmt.Println("\nPrometheus exposition:")
+	if _, err := metrics.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "writing metrics:", err)
+	}
 }

@@ -24,6 +24,8 @@ import (
 
 	"repro/internal/collections"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
 )
 
 // Mode selects how allocation sites instantiate collections.
@@ -192,15 +194,39 @@ func (e *Env) Checkpoint() {
 	}
 }
 
+// Obs threads the observability layer through an application run: Label
+// names the run's engine in emitted events (the experiments use
+// "app/mode/rule"), Sink receives every engine event, and Metrics
+// aggregates counters across runs. The zero value disables all three.
+type Obs struct {
+	Label   string
+	Sink    obs.Sink
+	Metrics *obs.Registry
+}
+
 // Run executes app once in the given mode and returns its measurements.
 // rule is only consulted in FullAdap mode.
 func Run(app App, mode Mode, rule core.Rule, seed int64) Result {
+	return RunObs(app, mode, rule, seed, Obs{})
+}
+
+// RunObs is Run with observability wiring. In FullAdap mode the engine's
+// structured event stream is always collected — Result.Transitions is
+// rebuilt from the Transition events rather than read out of engine
+// internals, so everything Table 6 aggregates demonstrably travels on the
+// event layer.
+func RunObs(app App, mode Mode, rule core.Rule, seed int64, o Obs) Result {
 	var engine *core.Engine
+	var col *obs.Collector
 	if mode == ModeFullAdap {
+		col = obs.NewCollector()
 		engine = core.NewEngineManual(core.Config{
 			WindowSize:    100,
 			FinishedRatio: 0.6,
 			Rule:          rule,
+			Name:          o.Label,
+			Sink:          obs.Multi(col, o.Sink),
+			Metrics:       o.Metrics,
 		})
 		defer engine.Close()
 	}
@@ -214,10 +240,36 @@ func Run(app App, mode Mode, rule core.Rule, seed int64) Result {
 		PeakHeapBytes: env.peakHeap,
 		Sink:          env.Sink,
 	}
-	if engine != nil {
-		res.Transitions = engine.Transitions()
+	if col != nil {
+		res.Transitions = transitionsFromEvents(col.Events())
 	}
 	return res
+}
+
+// transitionsFromEvents rebuilds the core transition log from a structured
+// event stream.
+func transitionsFromEvents(events []obs.Event) []core.Transition {
+	var out []core.Transition
+	for _, ev := range events {
+		t, ok := ev.(obs.Transition)
+		if !ok {
+			continue
+		}
+		tr := core.Transition{
+			Context: t.Context,
+			From:    collections.VariantID(t.From),
+			To:      collections.VariantID(t.To),
+			Round:   t.Round,
+		}
+		if len(t.Ratios) > 0 {
+			tr.Ratios = make(map[perfmodel.Dimension]float64, len(t.Ratios))
+			for d, v := range t.Ratios {
+				tr.Ratios[perfmodel.Dimension(d)] = v
+			}
+		}
+		out = append(out, tr)
+	}
+	return out
 }
 
 // scaled returns max(1, round(n*scale)).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -56,6 +57,14 @@ type RunConfig struct {
 	Warmup, Measured int
 	// Seed drives the deterministic workloads.
 	Seed int64
+	// Sink, when non-nil, receives the engine events of every measured
+	// run (warm-up runs are not traced, so an exported trace reconstructs
+	// exactly what the printed tables aggregated). Engines are labeled
+	// "app/mode/rule".
+	Sink obs.Sink
+	// Metrics, when non-nil, aggregates engine counters across the
+	// measured runs.
+	Metrics *obs.Registry
 }
 
 // DefaultRunConfig returns the paper's run counts at full scale.
@@ -75,8 +84,13 @@ func measureCell(app App, mode Mode, rule core.Rule, cfg RunConfig) Cell {
 	for i := 0; i < cfg.Warmup; i++ {
 		Run(app, mode, rule, cfg.Seed)
 	}
+	o := Obs{
+		Label:   fmt.Sprintf("%s/%s/%s", app.Name(), mode, rule.Name),
+		Sink:    cfg.Sink,
+		Metrics: cfg.Metrics,
+	}
 	for i := 0; i < cfg.Measured; i++ {
-		res := Run(app, mode, rule, cfg.Seed)
+		res := RunObs(app, mode, rule, cfg.Seed, o)
 		cell.TimesSec = append(cell.TimesSec, res.Elapsed.Seconds())
 		cell.PeaksMB = append(cell.PeaksMB, float64(res.PeakHeapBytes)/(1024*1024))
 		for _, tr := range res.Transitions {

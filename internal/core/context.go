@@ -3,10 +3,10 @@ package core
 import (
 	"math"
 	"sync"
-	"time"
 	"weak"
 
 	"repro/internal/collections"
+	"repro/internal/obs"
 )
 
 // This file implements the adaptive allocation contexts of Section 4.3 for
@@ -73,12 +73,14 @@ func NewListContext[T comparable](e *Engine, opts ...Option) *ListContext[T] {
 func (c *ListContext[T]) NewList() collections.List[T] {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.e.metrics.InstancesCreated.Add(1)
 	inner := c.factories[c.current](0)
 	if c.cooldown > 0 {
 		c.cooldown--
 		return inner
 	}
 	if len(c.window) < c.e.cfg.WindowSize {
+		c.e.metrics.InstancesMonitored.Add(1)
 		p := &profile{}
 		m := &monitoredList[T]{inner: inner, p: p}
 		c.window = append(c.window, &listRecord[T]{ref: weak.Make(m), p: p})
@@ -106,16 +108,30 @@ func (c *ListContext[T]) Name() string { return c.name }
 
 func (c *ListContext[T]) contextName() string { return c.name }
 
+func (c *ListContext[T]) windowStats() obs.ContextWindowStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.ContextWindowStat{
+		Context: c.name, Variant: string(c.current), Round: c.round,
+		WindowFill: len(c.window), Folded: c.agg.folded, Cooldown: c.cooldown,
+	}
+}
+
 // analyze folds finished instances and, when the window is complete and the
 // finished ratio reached, applies the selection rule (Sections 3.1, 4.3).
 func (c *ListContext[T]) analyze() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	reclaimed := 0
 	for _, r := range c.window {
 		if !r.folded && r.ref.Value() == nil {
 			c.agg.fold(r.p.snapshot())
 			r.folded = true
+			reclaimed++
 		}
+	}
+	if reclaimed > 0 {
+		c.e.metrics.WeakReclaims.Add(int64(reclaimed))
 	}
 	if len(c.window) < c.e.cfg.WindowSize {
 		return
@@ -126,24 +142,19 @@ func (c *ListContext[T]) analyze() {
 	// Decision time: use the whole set of metrics, including instances
 	// still alive (the paper folds all collected metrics; the finished
 	// ratio only gates when the analysis may run).
+	finished := c.agg.folded
 	for _, r := range c.window {
 		if !r.folded {
 			c.agg.fold(r.p.snapshot())
 			r.folded = true
 		}
 	}
-	if d := decide(c.agg, c.current, c.e.cfg.Rule, c.e.cfg.AdaptiveSizeSpread, collections.DefaultListThreshold); d.ok {
-		c.e.logTransition(Transition{
-			Context: c.name, From: c.current, To: d.switchTo,
-			Round: c.round, Ratios: d.ratios, When: time.Now(),
-		})
-		c.current = d.switchTo
-	}
+	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
+	c.current = c.e.closeWindow(c.name, c.agg, c.current, c.round, collections.DefaultListThreshold, finished, cooldown)
 	c.window = c.window[:0]
 	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
 	c.round++
-	c.cooldown = int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
-	c.e.logf("round %d complete at %s (variant %s)", c.round, c.name, c.current)
+	c.cooldown = cooldown
 }
 
 // setRecord tracks one monitored set instance.
@@ -198,12 +209,14 @@ func NewSetContext[T comparable](e *Engine, opts ...Option) *SetContext[T] {
 func (c *SetContext[T]) NewSet() collections.Set[T] {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.e.metrics.InstancesCreated.Add(1)
 	inner := c.factories[c.current](0)
 	if c.cooldown > 0 {
 		c.cooldown--
 		return inner
 	}
 	if len(c.window) < c.e.cfg.WindowSize {
+		c.e.metrics.InstancesMonitored.Add(1)
 		p := &profile{}
 		m := &monitoredSet[T]{inner: inner, p: p}
 		c.window = append(c.window, &setRecord[T]{ref: weak.Make(m), p: p})
@@ -231,14 +244,28 @@ func (c *SetContext[T]) Name() string { return c.name }
 
 func (c *SetContext[T]) contextName() string { return c.name }
 
+func (c *SetContext[T]) windowStats() obs.ContextWindowStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.ContextWindowStat{
+		Context: c.name, Variant: string(c.current), Round: c.round,
+		WindowFill: len(c.window), Folded: c.agg.folded, Cooldown: c.cooldown,
+	}
+}
+
 func (c *SetContext[T]) analyze() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	reclaimed := 0
 	for _, r := range c.window {
 		if !r.folded && r.ref.Value() == nil {
 			c.agg.fold(r.p.snapshot())
 			r.folded = true
+			reclaimed++
 		}
+	}
+	if reclaimed > 0 {
+		c.e.metrics.WeakReclaims.Add(int64(reclaimed))
 	}
 	if len(c.window) < c.e.cfg.WindowSize {
 		return
@@ -246,24 +273,19 @@ func (c *SetContext[T]) analyze() {
 	if c.agg.folded < neededFolds(c.e.cfg) {
 		return
 	}
+	finished := c.agg.folded
 	for _, r := range c.window {
 		if !r.folded {
 			c.agg.fold(r.p.snapshot())
 			r.folded = true
 		}
 	}
-	if d := decide(c.agg, c.current, c.e.cfg.Rule, c.e.cfg.AdaptiveSizeSpread, collections.DefaultSetThreshold); d.ok {
-		c.e.logTransition(Transition{
-			Context: c.name, From: c.current, To: d.switchTo,
-			Round: c.round, Ratios: d.ratios, When: time.Now(),
-		})
-		c.current = d.switchTo
-	}
+	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
+	c.current = c.e.closeWindow(c.name, c.agg, c.current, c.round, collections.DefaultSetThreshold, finished, cooldown)
 	c.window = c.window[:0]
 	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
 	c.round++
-	c.cooldown = int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
-	c.e.logf("round %d complete at %s (variant %s)", c.round, c.name, c.current)
+	c.cooldown = cooldown
 }
 
 // mapRecord tracks one monitored map instance.
@@ -318,12 +340,14 @@ func NewMapContext[K comparable, V any](e *Engine, opts ...Option) *MapContext[K
 func (c *MapContext[K, V]) NewMap() collections.Map[K, V] {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.e.metrics.InstancesCreated.Add(1)
 	inner := c.factories[c.current](0)
 	if c.cooldown > 0 {
 		c.cooldown--
 		return inner
 	}
 	if len(c.window) < c.e.cfg.WindowSize {
+		c.e.metrics.InstancesMonitored.Add(1)
 		p := &profile{}
 		m := &monitoredMap[K, V]{inner: inner, p: p}
 		c.window = append(c.window, &mapRecord[K, V]{ref: weak.Make(m), p: p})
@@ -351,14 +375,28 @@ func (c *MapContext[K, V]) Name() string { return c.name }
 
 func (c *MapContext[K, V]) contextName() string { return c.name }
 
+func (c *MapContext[K, V]) windowStats() obs.ContextWindowStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.ContextWindowStat{
+		Context: c.name, Variant: string(c.current), Round: c.round,
+		WindowFill: len(c.window), Folded: c.agg.folded, Cooldown: c.cooldown,
+	}
+}
+
 func (c *MapContext[K, V]) analyze() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	reclaimed := 0
 	for _, r := range c.window {
 		if !r.folded && r.ref.Value() == nil {
 			c.agg.fold(r.p.snapshot())
 			r.folded = true
+			reclaimed++
 		}
+	}
+	if reclaimed > 0 {
+		c.e.metrics.WeakReclaims.Add(int64(reclaimed))
 	}
 	if len(c.window) < c.e.cfg.WindowSize {
 		return
@@ -366,24 +404,19 @@ func (c *MapContext[K, V]) analyze() {
 	if c.agg.folded < neededFolds(c.e.cfg) {
 		return
 	}
+	finished := c.agg.folded
 	for _, r := range c.window {
 		if !r.folded {
 			c.agg.fold(r.p.snapshot())
 			r.folded = true
 		}
 	}
-	if d := decide(c.agg, c.current, c.e.cfg.Rule, c.e.cfg.AdaptiveSizeSpread, collections.DefaultMapThreshold); d.ok {
-		c.e.logTransition(Transition{
-			Context: c.name, From: c.current, To: d.switchTo,
-			Round: c.round, Ratios: d.ratios, When: time.Now(),
-		})
-		c.current = d.switchTo
-	}
+	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
+	c.current = c.e.closeWindow(c.name, c.agg, c.current, c.round, collections.DefaultMapThreshold, finished, cooldown)
 	c.window = c.window[:0]
 	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
 	c.round++
-	c.cooldown = int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
-	c.e.logf("round %d complete at %s (variant %s)", c.round, c.name, c.current)
+	c.cooldown = cooldown
 }
 
 // neededFolds converts the finished ratio into an instance count.

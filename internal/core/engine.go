@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/collections"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 )
 
@@ -43,16 +44,30 @@ type Config struct {
 	// second) and with it the monitor overhead. Zero uses the default
 	// (3); negative disables the cooldown.
 	CooldownWindows float64
-	// Logf, when non-nil, receives framework trace events (context
-	// registration, completed analysis rounds, transitions) — the
-	// "detailed log system for tracing framework events" the paper
-	// describes as its debuggability mitigation (Section 4.4). The
-	// callback runs on the analysis goroutine; keep it fast.
+	// Name labels this engine in emitted events, distinguishing engines
+	// when several share a sink or registry (e.g. the Table 5 sweep).
+	Name string
+	// Sink, when non-nil, receives the structured framework events of
+	// package obs — the typed successor of the paper's "detailed log
+	// system for tracing framework events" (Section 4.4). Events are
+	// emitted on the analysis goroutine; keep sinks fast. With a nil
+	// Sink the event paths are skipped entirely and add no allocations.
+	Sink obs.Sink
+	// Metrics receives the engine's counters and histograms. Nil gets a
+	// private registry; pass a shared one to aggregate across engines.
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives framework trace events in legacy
+	// printf form; it is adapted onto the event stream via obs.LogfSink
+	// and renders the historical lines byte-identically. The callback
+	// runs on the analysis goroutine; keep it fast.
 	Logf func(format string, args ...any)
 }
 
-// withDefaults fills unset fields with the paper's settings.
-func (c Config) withDefaults() Config {
+// withDefaults fills unset fields with the paper's settings and reports the
+// fields that validation had to rewrite, so misconfiguration surfaces as
+// ConfigClamped events rather than silent clamping.
+func (c Config) withDefaults() (Config, []obs.ConfigClamped) {
+	var clamps []obs.ConfigClamped
 	if c.WindowSize <= 0 {
 		c.WindowSize = 100
 	}
@@ -60,6 +75,7 @@ func (c Config) withDefaults() Config {
 		c.FinishedRatio = 0.6
 	}
 	if c.FinishedRatio > 1 {
+		clamps = append(clamps, obs.ConfigClamped{Field: "FinishedRatio", From: c.FinishedRatio, To: 1})
 		c.FinishedRatio = 1
 	}
 	if c.MonitorRate <= 0 {
@@ -78,9 +94,12 @@ func (c Config) withDefaults() Config {
 		c.CooldownWindows = 3
 	}
 	if c.CooldownWindows < 0 {
+		// Negative means "cooldown disabled" (documented API), but it is
+		// also the most common way to fat-finger the field — report it.
+		clamps = append(clamps, obs.ConfigClamped{Field: "CooldownWindows", From: c.CooldownWindows, To: 0})
 		c.CooldownWindows = 0
 	}
-	return c
+	return c, clamps
 }
 
 // Transition records one variant switch performed by an allocation context,
@@ -100,18 +119,27 @@ type Transition struct {
 type analyzable interface {
 	analyze()
 	contextName() string
+	windowStats() obs.ContextWindowStat
 }
 
 // Engine coordinates allocation contexts: it owns the configuration, the
-// periodic analysis loop and the transition log. Create one per application
-// (or per subsystem) and register contexts against it.
+// periodic analysis loop, the transition log and the telemetry plumbing.
+// Create one per application (or per subsystem) and register contexts
+// against it.
 type Engine struct {
-	cfg Config
+	cfg     Config
+	sink    obs.Sink      // resolved sink (Config.Sink + Logf adapter); nil disables events
+	metrics *obs.Registry // never nil
 
 	mu          sync.Mutex
 	contexts    []analyzable
 	transitions []Transition
+	rounds      int // completed AnalyzeNow passes
 	closed      bool
+
+	// analysisMu serializes analysis passes; Close acquires it to wait
+	// for any in-flight pass before returning.
+	analysisMu sync.Mutex
 
 	background bool // whether loop() was started
 	stop       chan struct{}
@@ -135,11 +163,29 @@ func NewEngineManual(cfg Config) *Engine {
 }
 
 func newEngine(cfg Config) *Engine {
-	return &Engine{
-		cfg:  cfg.withDefaults(),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+	cfg, clamps := cfg.withDefaults()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
 	}
+	sink := cfg.Sink
+	if cfg.Logf != nil {
+		sink = obs.Multi(sink, obs.NewLogfSink(cfg.Logf))
+	}
+	e := &Engine{
+		cfg:     cfg,
+		sink:    sink,
+		metrics: cfg.Metrics,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, cl := range clamps {
+		e.metrics.ConfigClamps.Add(1)
+		if e.sink != nil {
+			cl.Engine = cfg.Name
+			e.sink.Emit(cl)
+		}
+	}
+	return e
 }
 
 func (e *Engine) loop() {
@@ -156,9 +202,10 @@ func (e *Engine) loop() {
 	}
 }
 
-// Close stops the background loop (if any). It is idempotent. Contexts
-// remain usable for collection creation afterwards but no further analysis
-// runs unless AnalyzeNow is called explicitly.
+// Close stops the background loop (if any) and waits for any in-flight
+// analysis pass — background or manual — to drain before returning. It is
+// idempotent. Contexts remain usable for collection creation afterwards but
+// no further analysis runs unless AnalyzeNow is called explicitly.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -172,41 +219,146 @@ func (e *Engine) Close() {
 		close(e.stop)
 		<-e.done
 	}
+	// Wait for a concurrent AnalyzeNow caller to finish its pass.
+	e.analysisMu.Lock()
+	e.analysisMu.Unlock() //nolint:staticcheck // empty critical section is the wait
+	if e.sink != nil {
+		e.mu.Lock()
+		ev := obs.EngineClosed{
+			Engine:      e.cfg.Name,
+			Contexts:    len(e.contexts),
+			Rounds:      e.rounds,
+			Transitions: len(e.transitions),
+		}
+		e.mu.Unlock()
+		e.sink.Emit(ev)
+	}
 }
 
 // AnalyzeNow runs one synchronous analysis pass over every registered
-// context. The background loop calls this on each tick.
+// context. The background loop calls this on each tick. Passes are
+// serialized: concurrent callers queue rather than interleave.
 func (e *Engine) AnalyzeNow() {
+	e.analysisMu.Lock()
+	defer e.analysisMu.Unlock()
 	e.mu.Lock()
 	ctxs := make([]analyzable, len(e.contexts))
 	copy(ctxs, e.contexts)
+	round := e.rounds
 	e.mu.Unlock()
+	if e.sink != nil {
+		e.sink.Emit(obs.RoundStarted{Engine: e.cfg.Name, Round: round, Contexts: len(ctxs)})
+	}
+	start := time.Now()
 	for _, c := range ctxs {
 		c.analyze()
 	}
-}
-
-// register adds a context to the analysis schedule.
-func (e *Engine) register(c analyzable) {
+	elapsed := time.Since(start)
+	e.metrics.AnalysisRounds.Add(1)
+	e.metrics.AnalysisLatency.Observe(elapsed.Seconds())
 	e.mu.Lock()
-	e.contexts = append(e.contexts, c)
+	e.rounds++
 	e.mu.Unlock()
-	e.logf("context registered: %s", c.contextName())
-}
-
-// logf emits a trace event if tracing is configured.
-func (e *Engine) logf(format string, args ...any) {
-	if e.cfg.Logf != nil {
-		e.cfg.Logf(format, args...)
+	if e.sink != nil {
+		stats := make([]obs.ContextWindowStat, len(ctxs))
+		for i, c := range ctxs {
+			stats[i] = c.windowStats()
+		}
+		e.sink.Emit(obs.RoundCompleted{
+			Engine:     e.cfg.Name,
+			Round:      round,
+			DurationNs: elapsed.Nanoseconds(),
+			Contexts:   stats,
+		})
 	}
 }
 
-// logTransition appends to the transition log.
+// register adds a context to the analysis schedule. Registration against a
+// closed engine is a logged no-op: the context still creates collections but
+// is never analyzed.
+func (e *Engine) register(c analyzable) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.metrics.RegistrationsDropped.Add(1)
+		if e.sink != nil {
+			e.sink.Emit(obs.ContextRegistered{Engine: e.cfg.Name, Context: c.contextName(), Dropped: true})
+		}
+		return
+	}
+	e.contexts = append(e.contexts, c)
+	e.mu.Unlock()
+	e.metrics.ContextsRegistered.Add(1)
+	if e.sink != nil {
+		e.sink.Emit(obs.ContextRegistered{Engine: e.cfg.Name, Context: c.contextName()})
+	}
+}
+
+// logTransition appends to the transition log and mirrors the switch onto
+// the event stream and the transition counters.
 func (e *Engine) logTransition(t Transition) {
 	e.mu.Lock()
 	e.transitions = append(e.transitions, t)
 	e.mu.Unlock()
-	e.logf("transition at %s (round %d): %s -> %s", t.Context, t.Round, t.From, t.To)
+	e.metrics.IncTransition(t.Context, string(t.From), string(t.To))
+	if e.sink != nil {
+		ratios := make(map[string]float64, len(t.Ratios))
+		for d, v := range t.Ratios {
+			ratios[string(d)] = v
+		}
+		e.sink.Emit(obs.Transition{
+			Engine:  e.cfg.Name,
+			Context: t.Context,
+			From:    string(t.From),
+			To:      string(t.To),
+			Round:   t.Round,
+			Ratios:  ratios,
+		})
+	}
+}
+
+// closeWindow finishes one monitoring round at a context: it evaluates the
+// selection rule over the folded aggregate, records any transition, and
+// emits the WindowClosed / CooldownEntered telemetry. round is the 0-based
+// index of the round being closed (WindowClosed reports it 1-based to match
+// the legacy trace wording); finished is the number of instances that were
+// folded before decision time; cooldown is the number of unmonitored
+// creations the context will skip next. It returns the variant future
+// instantiations should use.
+func (e *Engine) closeWindow(name string, agg *costAgg, current collections.VariantID, round int, threshold int64, finished, cooldown int) collections.VariantID {
+	e.metrics.RuleEvaluations.Add(1)
+	if d := decide(agg, current, e.cfg.Rule, e.cfg.AdaptiveSizeSpread, threshold); d.ok {
+		e.logTransition(Transition{
+			Context: name, From: current, To: d.switchTo,
+			Round: round, Ratios: d.ratios, When: time.Now(),
+		})
+		current = d.switchTo
+	}
+	e.metrics.WindowsClosed.Add(1)
+	if cooldown > 0 {
+		e.metrics.CooldownsEntered.Add(1)
+	}
+	if e.sink != nil {
+		e.sink.Emit(obs.WindowClosed{
+			Engine:        e.cfg.Name,
+			Context:       name,
+			Round:         round + 1,
+			Variant:       string(current),
+			WindowSize:    e.cfg.WindowSize,
+			Finished:      finished,
+			FinishedRatio: float64(finished) / float64(e.cfg.WindowSize),
+			SizeSpread:    agg.sizeSpread(),
+		})
+		if cooldown > 0 {
+			e.sink.Emit(obs.CooldownEntered{
+				Engine:   e.cfg.Name,
+				Context:  name,
+				Round:    round + 1,
+				SkipNext: cooldown,
+			})
+		}
+	}
+	return current
 }
 
 // Transitions returns a copy of the transition log in occurrence order.
@@ -220,6 +372,9 @@ func (e *Engine) Transitions() []Transition {
 
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Metrics returns the engine's metrics registry (never nil).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // ContextCount returns the number of registered allocation contexts.
 func (e *Engine) ContextCount() int {

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// eventKinds projects a collector's stream to its kind sequence.
+func eventKinds(events []obs.Event) []obs.Kind {
+	out := make([]obs.Kind, len(events))
+	for i, e := range events {
+		out[i] = e.EventKind()
+	}
+	return out
+}
+
+func firstOfKind(events []obs.Event, k obs.Kind) (obs.Event, bool) {
+	for _, e := range events {
+		if e.EventKind() == k {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+func TestRegisterAfterCloseIsLoggedNoOp(t *testing.T) {
+	col := obs.NewCollector()
+	e := NewEngineManual(Config{WindowSize: 10, Name: "closed", Sink: col})
+	e.Close()
+	ctx := NewListContext[int](e, WithName("late:list"))
+
+	if got := e.ContextCount(); got != 0 {
+		t.Errorf("ContextCount = %d after post-close registration, want 0", got)
+	}
+	if got := e.Metrics().RegistrationsDropped.Load(); got != 1 {
+		t.Errorf("RegistrationsDropped = %d, want 1", got)
+	}
+	ev, ok := firstOfKind(col.Events(), obs.KindContextRegistered)
+	if !ok {
+		t.Fatal("no ContextRegistered event emitted")
+	}
+	reg := ev.(obs.ContextRegistered)
+	if !reg.Dropped || reg.Context != "late:list" {
+		t.Errorf("event = %+v, want Dropped=true Context=late:list", reg)
+	}
+	// The context must stay usable for plain creation.
+	l := ctx.NewList()
+	l.Add(1)
+	if !l.Contains(1) {
+		t.Error("collection from unregistered context not functional")
+	}
+}
+
+// blockingCtx is a fake analyzable whose analyze() parks until released,
+// letting the test hold an analysis pass in flight.
+type blockingCtx struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingCtx) analyze() {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release
+}
+func (b *blockingCtx) contextName() string { return "blocking" }
+func (b *blockingCtx) windowStats() obs.ContextWindowStat {
+	return obs.ContextWindowStat{Context: "blocking"}
+}
+
+func TestCloseWaitsForInFlightAnalysis(t *testing.T) {
+	e := NewEngineManual(Config{WindowSize: 10})
+	b := &blockingCtx{entered: make(chan struct{}), release: make(chan struct{})}
+	e.register(b)
+
+	analyzeDone := make(chan struct{})
+	go func() {
+		e.AnalyzeNow()
+		close(analyzeDone)
+	}()
+	<-b.entered
+
+	closeDone := make(chan struct{})
+	go func() {
+		e.Close()
+		close(closeDone)
+	}()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while an analysis pass was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(b.release)
+	select {
+	case <-closeDone:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not return after the analysis pass drained")
+	}
+	<-analyzeDone
+}
+
+func TestConfigClampEvents(t *testing.T) {
+	col := obs.NewCollector()
+	e := NewEngineManual(Config{
+		Name:            "clamped",
+		FinishedRatio:   1.5,
+		CooldownWindows: -2,
+		Sink:            col,
+	})
+	defer e.Close()
+
+	if got := e.Config().FinishedRatio; got != 1 {
+		t.Errorf("FinishedRatio = %v, want clamped to 1", got)
+	}
+	if got := e.Config().CooldownWindows; got != 0 {
+		t.Errorf("CooldownWindows = %v, want clamped to 0", got)
+	}
+	if got := e.Metrics().ConfigClamps.Load(); got != 2 {
+		t.Errorf("ConfigClamps = %d, want 2", got)
+	}
+	want := map[string]obs.ConfigClamped{
+		"FinishedRatio":   {Engine: "clamped", Field: "FinishedRatio", From: 1.5, To: 1},
+		"CooldownWindows": {Engine: "clamped", Field: "CooldownWindows", From: -2, To: 0},
+	}
+	seen := 0
+	for _, ev := range col.Events() {
+		cl, ok := ev.(obs.ConfigClamped)
+		if !ok {
+			continue
+		}
+		seen++
+		if w, known := want[cl.Field]; !known || cl != w {
+			t.Errorf("unexpected clamp event %+v", cl)
+		}
+	}
+	if seen != 2 {
+		t.Errorf("saw %d ConfigClamped events, want 2", seen)
+	}
+}
+
+func TestEngineEventFlow(t *testing.T) {
+	col := obs.NewCollector()
+	e := NewEngineManual(Config{
+		WindowSize:      10,
+		FinishedRatio:   0.6,
+		Rule:            Rtime(),
+		CooldownWindows: 1,
+		Name:            "flow",
+		Sink:            col,
+	})
+	ctx := NewListContext[int](e, WithName("flow:list"))
+	churnLists(ctx, 10, 500, 500)
+	e.AnalyzeNow()
+	e.Close()
+
+	events := col.Events()
+	// The pass must order: registration, round start, transition decision,
+	// window close, cooldown, round completion, engine close.
+	wantOrder := []obs.Kind{
+		obs.KindContextRegistered, obs.KindRoundStarted, obs.KindTransition,
+		obs.KindWindowClosed, obs.KindCooldownEntered, obs.KindRoundCompleted,
+		obs.KindEngineClosed,
+	}
+	pos := 0
+	for _, k := range eventKinds(events) {
+		if pos < len(wantOrder) && k == wantOrder[pos] {
+			pos++
+		}
+	}
+	if pos != len(wantOrder) {
+		t.Fatalf("event order missing %s; stream: %v", wantOrder[pos], eventKinds(events))
+	}
+
+	tr, _ := firstOfKind(events, obs.KindTransition)
+	trans := tr.(obs.Transition)
+	if trans.From != "list/array" || trans.To != "list/hasharray" || trans.Round != 0 {
+		t.Errorf("transition = %+v, want list/array -> list/hasharray at round 0", trans)
+	}
+	if len(trans.Ratios) == 0 {
+		t.Error("transition carries no TC_D ratios")
+	}
+
+	wc, _ := firstOfKind(events, obs.KindWindowClosed)
+	closed := wc.(obs.WindowClosed)
+	if closed.Round != 1 || closed.Variant != "list/hasharray" || closed.WindowSize != 10 {
+		t.Errorf("window closed = %+v", closed)
+	}
+	if closed.FinishedRatio < 0.6 || closed.FinishedRatio > 1 {
+		t.Errorf("finished ratio %v outside [0.6, 1]", closed.FinishedRatio)
+	}
+
+	cd, _ := firstOfKind(events, obs.KindCooldownEntered)
+	if got := cd.(obs.CooldownEntered).SkipNext; got != 10 {
+		t.Errorf("cooldown skip = %d, want 10 (1 window x size 10)", got)
+	}
+
+	rc, _ := firstOfKind(events, obs.KindRoundCompleted)
+	completed := rc.(obs.RoundCompleted)
+	if completed.DurationNs <= 0 || len(completed.Contexts) != 1 {
+		t.Errorf("round completed = %+v", completed)
+	}
+	if stat := completed.Contexts[0]; stat.Context != "flow:list" || stat.Round != 1 {
+		t.Errorf("window stat = %+v, want flow:list after round 1", stat)
+	}
+
+	ec, _ := firstOfKind(events, obs.KindEngineClosed)
+	if closedEv := ec.(obs.EngineClosed); closedEv.Contexts != 1 || closedEv.Rounds != 1 || closedEv.Transitions != 1 {
+		t.Errorf("engine closed = %+v", closedEv)
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := NewEngineManual(Config{
+		WindowSize:      10,
+		FinishedRatio:   0.6,
+		Rule:            Rtime(),
+		CooldownWindows: 1,
+		Name:            "metrics",
+		Metrics:         reg,
+	})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("m:list"))
+	// 10 monitored creations fill the window; 5 more land in the cooldown
+	// after analysis.
+	churnLists(ctx, 10, 200, 200)
+	e.AnalyzeNow()
+	churnLists(ctx, 5, 10, 0)
+
+	if got := reg.InstancesCreated.Load(); got != 15 {
+		t.Errorf("InstancesCreated = %d, want 15", got)
+	}
+	if got := reg.InstancesMonitored.Load(); got != 10 {
+		t.Errorf("InstancesMonitored = %d, want 10", got)
+	}
+	if got := reg.MonitoredFraction(); got != 10.0/15.0 {
+		t.Errorf("MonitoredFraction = %v, want %v", got, 10.0/15.0)
+	}
+	if got := reg.ContextsRegistered.Load(); got != 1 {
+		t.Errorf("ContextsRegistered = %d, want 1", got)
+	}
+	if got := reg.AnalysisRounds.Load(); got != 1 {
+		t.Errorf("AnalysisRounds = %d, want 1", got)
+	}
+	if got := reg.AnalysisLatency.Count(); got != 1 {
+		t.Errorf("AnalysisLatency.Count = %d, want 1", got)
+	}
+	if got := reg.WindowsClosed.Load(); got != 1 {
+		t.Errorf("WindowsClosed = %d, want 1", got)
+	}
+	if got := reg.RuleEvaluations.Load(); got != 1 {
+		t.Errorf("RuleEvaluations = %d, want 1", got)
+	}
+	if got := reg.WeakReclaims.Load(); got == 0 {
+		t.Error("WeakReclaims = 0, want > 0 after GC reclaimed the window")
+	}
+	if got := reg.TransitionsTotal(); got != 1 {
+		t.Errorf("TransitionsTotal = %d, want 1", got)
+	}
+	counts := reg.TransitionCounts()
+	key := obs.TransitionKey{Context: "m:list", From: "list/array", To: "list/hasharray"}
+	if counts[key] != 1 {
+		t.Errorf("TransitionCounts = %v, want {%v: 1}", counts, key)
+	}
+}
+
+// TestSharedRegistryAcrossEngines mirrors the Table 5 sweep: many engines
+// aggregate into one registry.
+func TestSharedRegistryAcrossEngines(t *testing.T) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 3; i++ {
+		e := NewEngineManual(Config{WindowSize: 5, Metrics: reg})
+		ctx := NewListContext[int](e)
+		for j := 0; j < 5; j++ {
+			ctx.NewList().Add(j)
+		}
+		e.Close()
+	}
+	if got := reg.ContextsRegistered.Load(); got != 3 {
+		t.Errorf("ContextsRegistered = %d, want 3", got)
+	}
+	if got := reg.InstancesCreated.Load(); got != 15 {
+		t.Errorf("InstancesCreated = %d, want 15", got)
+	}
+}
+
+func TestMetricsRegistryRaceClean(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := NewEngineManual(Config{WindowSize: 20, Rule: Rtime(), Metrics: reg})
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := NewListContext[int](e)
+			for i := 0; i < 200; i++ {
+				l := ctx.NewList()
+				l.Add(i)
+				l.Contains(i)
+				if i%50 == 0 {
+					runtime.GC()
+					e.AnalyzeNow()
+				}
+				reg.IncTransition("race", "a", "b")
+				reg.AnalysisLatency.Observe(float64(i) * 1e-6)
+				_ = reg.MonitoredFraction()
+				_ = reg.TransitionCounts()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.TransitionCounts()[obs.TransitionKey{Context: "race", From: "a", To: "b"}]; got != 800 {
+		t.Errorf("race transition count = %d, want 800", got)
+	}
+}

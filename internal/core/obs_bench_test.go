@@ -1,0 +1,89 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestNilSinkMonitoredOpZeroAlloc is the benchmark guard's hard assertion:
+// with no sink attached, operations on a monitored collection must not
+// allocate — the observability layer's hot-path cost is atomic increments
+// only.
+func TestNilSinkMonitoredOpZeroAlloc(t *testing.T) {
+	e := NewEngineManual(Config{WindowSize: 10, CooldownWindows: -1})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("alloc:list"))
+	l := ctx.NewList()
+	l.Add(1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		l.Contains(1)
+		l.Get(0)
+		l.Len()
+	}); allocs != 0 {
+		t.Errorf("monitored ops allocated %v times per run with nil sink, want 0", allocs)
+	}
+}
+
+// BenchmarkObsOverhead compares the monitored-instance lifecycle with no
+// sink against a live JSONL sink. The nil-sink variant is the deployment
+// configuration the overhead claim (Section 5.3) is about; the sub-benchmark
+// reports allocs/op so regressions on the event-free path are visible in
+// benchstat output.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, sink obs.Sink) {
+		e := NewEngineManual(Config{
+			WindowSize:      100,
+			Rule:            ImpossibleRule(),
+			CooldownWindows: -1,
+			Name:            "bench",
+			Sink:            sink,
+		})
+		defer e.Close()
+		ctx := NewListContext[int](e, WithName("bench:list"))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := ctx.NewList()
+			l.Add(i)
+			l.Contains(i)
+			if i%100 == 99 {
+				e.AnalyzeNow()
+			}
+		}
+	}
+	b.Run("nil-sink", func(b *testing.B) {
+		run(b, nil)
+	})
+	b.Run("jsonl-sink", func(b *testing.B) {
+		run(b, obs.NewJSONLSink(io.Discard))
+	})
+}
+
+// BenchmarkMonitoredOp isolates the per-operation cost on an already
+// monitored collection — the paper's "fixed small overhead per operation"
+// claim — with and without an attached sink. Sinks only see window-close
+// events, so both variants should be indistinguishable here.
+func BenchmarkMonitoredOp(b *testing.B) {
+	for _, bench := range []struct {
+		name string
+		sink obs.Sink
+	}{
+		{"nil-sink", nil},
+		{"jsonl-sink", obs.NewJSONLSink(io.Discard)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			e := NewEngineManual(Config{WindowSize: 10, CooldownWindows: -1, Sink: bench.sink})
+			defer e.Close()
+			ctx := NewListContext[int](e)
+			l := ctx.NewList()
+			l.Add(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Contains(i)
+			}
+		})
+	}
+}

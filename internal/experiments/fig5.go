@@ -39,11 +39,14 @@ type Fig5Panel struct {
 }
 
 // newFig5Engine builds the manual engine used for one single-phase run.
-func newFig5Engine(rule core.Rule) *core.Engine {
+func newFig5Engine(rule core.Rule, name string, o Obs) *core.Engine {
 	return core.NewEngineManual(core.Config{
 		WindowSize:    100,
 		FinishedRatio: 0.6,
 		Rule:          rule,
+		Name:          name,
+		Sink:          o.Sink,
+		Metrics:       o.Metrics,
 	})
 }
 
@@ -58,6 +61,11 @@ func engineHook(e *core.Engine) func() {
 
 // RunFig5 measures all five panels at the given scale.
 func RunFig5(sc Scale) []Fig5Panel {
+	return RunFig5Obs(sc, Obs{})
+}
+
+// RunFig5Obs is RunFig5 with observability wiring on every engine.
+func RunFig5Obs(sc Scale, o Obs) []Fig5Panel {
 	panels := []Fig5Panel{
 		{Name: "5a: Lists, Rtime, time vs ArrayList", Rule: "Rtime", Baseline: collections.ArrayListID},
 		{Name: "5b: Sets, Rtime, time vs HashSet", Rule: "Rtime", Baseline: collections.HashSetID},
@@ -69,23 +77,23 @@ func RunFig5(sc Scale) []Fig5Panel {
 	for _, size := range sc.Fig5Sizes {
 		// Panel a: lists under Rtime.
 		panels[0].Points = append(panels[0].Points,
-			fig5List(core.Rtime(), size, sc.Fig5Instances, sc.Fig5ListLookups, every))
+			fig5List(core.Rtime(), size, sc.Fig5Instances, sc.Fig5ListLookups, every, o))
 		// Panel b/d: sets under Rtime and Ralloc.
 		panels[1].Points = append(panels[1].Points,
-			fig5Set(core.Rtime(), size, sc.Fig5Instances, sc.Fig5Lookups, every))
+			fig5Set(core.Rtime(), size, sc.Fig5Instances, sc.Fig5Lookups, every, o))
 		panels[3].Points = append(panels[3].Points,
-			fig5Set(core.Ralloc(), size, sc.Fig5Instances, sc.Fig5Lookups, every))
+			fig5Set(core.Ralloc(), size, sc.Fig5Instances, sc.Fig5Lookups, every, o))
 		// Panel c/e: maps under Rtime and Ralloc.
 		panels[2].Points = append(panels[2].Points,
-			fig5Map(core.Rtime(), size, sc.Fig5Instances, sc.Fig5Lookups, every))
+			fig5Map(core.Rtime(), size, sc.Fig5Instances, sc.Fig5Lookups, every, o))
 		panels[4].Points = append(panels[4].Points,
-			fig5Map(core.Ralloc(), size, sc.Fig5Instances, sc.Fig5Lookups, every))
+			fig5Map(core.Ralloc(), size, sc.Fig5Instances, sc.Fig5Lookups, every, o))
 	}
 	return panels
 }
 
-func fig5List(rule core.Rule, size, instances, lookups, every int) Fig5Point {
-	e := newFig5Engine(rule)
+func fig5List(rule core.Rule, size, instances, lookups, every int, o Obs) Fig5Point {
+	e := newFig5Engine(rule, fmt.Sprintf("fig5a@%d", size), o)
 	defer e.Close()
 	ctx := core.NewListContext[int](e, core.WithName(fmt.Sprintf("fig5a@%d", size)))
 	swRes, _ := workload.SinglePhaseListHook(ctx.NewList, instances, size, lookups, int64(size), every, engineHook(e))
@@ -105,8 +113,8 @@ func fig5List(rule core.Rule, size, instances, lookups, every int) Fig5Point {
 	return p
 }
 
-func fig5Set(rule core.Rule, size, instances, lookups, every int) Fig5Point {
-	e := newFig5Engine(rule)
+func fig5Set(rule core.Rule, size, instances, lookups, every int, o Obs) Fig5Point {
+	e := newFig5Engine(rule, fmt.Sprintf("fig5set@%d", size), o)
 	defer e.Close()
 	ctx := core.NewSetContext[int](e, core.WithName(fmt.Sprintf("fig5set@%d", size)))
 	swRes, _ := workload.SinglePhaseSetHook(ctx.NewSet, instances, size, lookups, int64(size), every, engineHook(e))
@@ -126,8 +134,8 @@ func fig5Set(rule core.Rule, size, instances, lookups, every int) Fig5Point {
 	return p
 }
 
-func fig5Map(rule core.Rule, size, instances, lookups, every int) Fig5Point {
-	e := newFig5Engine(rule)
+func fig5Map(rule core.Rule, size, instances, lookups, every int, o Obs) Fig5Point {
+	e := newFig5Engine(rule, fmt.Sprintf("fig5map@%d", size), o)
 	defer e.Close()
 	ctx := core.NewMapContext[int, int](e, core.WithName(fmt.Sprintf("fig5map@%d", size)))
 	swRes, _ := workload.SinglePhaseMapHook(ctx.NewMap, instances, size, lookups, int64(size), every, engineHook(e))

@@ -38,10 +38,18 @@ type Fig6Result struct {
 
 // RunFig6 measures the multi-phase scenario.
 func RunFig6(sc Scale) Fig6Result {
+	return RunFig6Obs(sc, Obs{})
+}
+
+// RunFig6Obs is RunFig6 with observability wiring on the engine.
+func RunFig6Obs(sc Scale, o Obs) Fig6Result {
 	e := core.NewEngineManual(core.Config{
 		WindowSize:    100,
 		FinishedRatio: 0.6,
 		Rule:          core.Rtime(),
+		Name:          "fig6",
+		Sink:          o.Sink,
+		Metrics:       o.Metrics,
 	})
 	defer e.Close()
 	ctx := core.NewListContext[int](e, core.WithName("fig6"))

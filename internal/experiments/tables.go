@@ -4,12 +4,23 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/collections"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// Obs bundles the optional observability wiring of cmd/experiments: Sink
+// receives the engine events of measured runs (the -trace flag), Metrics
+// aggregates counters and the analysis-latency histogram across experiments
+// (the -metrics flag). The zero value disables both.
+type Obs struct {
+	Sink    obs.Sink
+	Metrics *obs.Registry
+}
 
 // PrintTable2 renders the collection-variant inventory (paper Table 2).
 func PrintTable2(w io.Writer) {
@@ -40,11 +51,19 @@ func PrintTable4(w io.Writer) {
 
 // RunTable5 measures the DaCapo-substitute applications.
 func RunTable5(sc Scale) []apps.Row {
+	return RunTable5Obs(sc, Obs{})
+}
+
+// RunTable5Obs is RunTable5 with observability wiring threaded into every
+// measured run's engine.
+func RunTable5Obs(sc Scale, o Obs) []apps.Row {
 	cfg := apps.RunConfig{
 		Scale:    sc.AppScale,
 		Warmup:   sc.AppWarmup,
 		Measured: sc.AppMeasured,
 		Seed:     1,
+		Sink:     o.Sink,
+		Metrics:  o.Metrics,
 	}
 	return apps.MeasureAll(cfg)
 }
@@ -110,6 +129,56 @@ func topTransition(counts map[string]int) string {
 	return best
 }
 
+// Table6FromEvents rebuilds the Table 6 aggregation purely from a
+// structured event stream — e.g. one decoded from a -trace JSONL file with
+// obs.ReadAll. Engines in the Table 5 machinery are labeled "app/mode/rule";
+// the FullAdap cells' Transition events carry everything the in-process
+// aggregation uses, so this reconstructs exactly the rows Table6From prints.
+func Table6FromEvents(events []obs.Event) []TransitionRow {
+	type cellKey struct{ app, rule string }
+	counts := make(map[cellKey]map[string]int)
+	var appOrder []string
+	seen := make(map[string]bool)
+	for _, ev := range events {
+		app, mode, rule, ok := splitRunLabel(ev.EngineName())
+		if !ok || mode != string(apps.ModeFullAdap) {
+			continue
+		}
+		if !seen[app] {
+			seen[app] = true
+			appOrder = append(appOrder, app)
+		}
+		t, isTransition := ev.(obs.Transition)
+		if !isTransition {
+			continue
+		}
+		k := cellKey{app: app, rule: rule}
+		if counts[k] == nil {
+			counts[k] = make(map[string]int)
+		}
+		counts[k][fmt.Sprintf("%s: %s -> %s", t.Context, t.From, t.To)]++
+	}
+	out := make([]TransitionRow, 0, len(appOrder))
+	for _, app := range appOrder {
+		out = append(out, TransitionRow{
+			App:    app,
+			Rtime:  topTransition(counts[cellKey{app: app, rule: "Rtime"}]),
+			Ralloc: topTransition(counts[cellKey{app: app, rule: "Ralloc"}]),
+		})
+	}
+	return out
+}
+
+// splitRunLabel parses the "app/mode/rule" engine labels of the Table 5
+// machinery.
+func splitRunLabel(label string) (app, mode, rule string, ok bool) {
+	parts := strings.SplitN(label, "/", 3)
+	if len(parts) != 3 || parts[0] == "" {
+		return "", "", "", false
+	}
+	return parts[0], parts[1], parts[2], true
+}
+
 // PrintTable6 renders the most common transitions.
 func PrintTable6(w io.Writer, rows []TransitionRow) {
 	header(w, "Table 6 — most commonly performed transitions")
@@ -132,6 +201,12 @@ type OverheadRow struct {
 
 // RunOverhead measures the Section 5.3 framework-overhead experiment.
 func RunOverhead(sc Scale) []OverheadRow {
+	return RunOverheadObs(sc, Obs{})
+}
+
+// RunOverheadObs is RunOverhead with observability wiring on the measured
+// FullAdap runs.
+func RunOverheadObs(sc Scale, o Obs) []OverheadRow {
 	var out []OverheadRow
 	for _, app := range apps.All(sc.AppScale) {
 		row := OverheadRow{App: app.Name()}
@@ -139,9 +214,14 @@ func RunOverhead(sc Scale) []OverheadRow {
 			apps.Run(app, apps.ModeOriginal, core.Rtime(), 1)
 			apps.Run(app, apps.ModeFullAdap, core.ImpossibleRule(), 1)
 		}
+		ao := apps.Obs{
+			Label:   fmt.Sprintf("%s/%s/%s", app.Name(), apps.ModeFullAdap, core.ImpossibleRule().Name),
+			Sink:    o.Sink,
+			Metrics: o.Metrics,
+		}
 		for i := 0; i < sc.AppMeasured; i++ {
 			orig := apps.Run(app, apps.ModeOriginal, core.Rtime(), 1)
-			dis := apps.Run(app, apps.ModeFullAdap, core.ImpossibleRule(), 1)
+			dis := apps.RunObs(app, apps.ModeFullAdap, core.ImpossibleRule(), 1, ao)
 			row.OriginalSec = append(row.OriginalSec, orig.Elapsed.Seconds())
 			row.DisabledSec = append(row.DisabledSec, dis.Elapsed.Seconds())
 		}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// envelope is the JSONL wire form: a kind discriminator, a wall-clock stamp
+// applied at write time, and the event payload.
+type envelope struct {
+	Kind Kind            `json:"kind"`
+	Time int64           `json:"time_unix_ns"`
+	Ev   json.RawMessage `json:"event"`
+}
+
+// JSONLSink writes one JSON object per event to an io.Writer. It is safe
+// for concurrent use. Output is buffered; call Flush (or Close) before
+// reading the destination.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL event writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit serializes the event as one JSONL line. The first write error is
+// retained and reported by Flush/Close; later emits become no-ops.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	line, err := json.Marshal(envelope{Kind: e.EventKind(), Time: time.Now().UnixNano(), Ev: payload})
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error seen so far.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Close flushes; the sink does not own the underlying writer.
+func (s *JSONLSink) Close() error { return s.Flush() }
+
+// Decode parses one JSONL line back into its typed event and timestamp.
+func Decode(line []byte) (Event, time.Time, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, time.Time{}, fmt.Errorf("obs: bad envelope: %w", err)
+	}
+	ev, err := decodeKind(env.Kind, env.Ev)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	return ev, time.Unix(0, env.Time), nil
+}
+
+func decodeKind(kind Kind, raw json.RawMessage) (Event, error) {
+	unmarshal := func(v any) error {
+		if err := json.Unmarshal(raw, v); err != nil {
+			return fmt.Errorf("obs: bad %s payload: %w", kind, err)
+		}
+		return nil
+	}
+	switch kind {
+	case KindContextRegistered:
+		var e ContextRegistered
+		return e, unmarshal(&e)
+	case KindRoundStarted:
+		var e RoundStarted
+		return e, unmarshal(&e)
+	case KindRoundCompleted:
+		var e RoundCompleted
+		return e, unmarshal(&e)
+	case KindWindowClosed:
+		var e WindowClosed
+		return e, unmarshal(&e)
+	case KindTransition:
+		var e Transition
+		return e, unmarshal(&e)
+	case KindCooldownEntered:
+		var e CooldownEntered
+		return e, unmarshal(&e)
+	case KindConfigClamped:
+		var e ConfigClamped
+		return e, unmarshal(&e)
+	case KindEngineClosed:
+		var e EngineClosed
+		return e, unmarshal(&e)
+	default:
+		return nil, fmt.Errorf("obs: unknown event kind %q", kind)
+	}
+}
+
+// ReadAll decodes every event of a JSONL stream in order.
+func ReadAll(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var out []Event
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		ev, _, err := Decode(sc.Bytes())
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}

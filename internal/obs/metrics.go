@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram safe for concurrent observation.
+// Buckets store per-bucket (non-cumulative) counts; rendering produces the
+// cumulative Prometheus form.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; an implicit +Inf bucket follows
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// DefaultLatencyBounds covers analysis-round latencies from 1µs to 1s —
+// the Figure 7 claim lives at the very bottom of this range.
+func DefaultLatencyBounds() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Cumulative returns the bucket upper bounds and the cumulative counts per
+// bucket; the final entry corresponds to +Inf and equals Count.
+func (h *Histogram) Cumulative() (bounds []float64, counts []int64) {
+	bounds = append(bounds, h.bounds...)
+	bounds = append(bounds, math.Inf(1))
+	counts = make([]int64, len(h.buckets))
+	var acc int64
+	for i := range h.buckets {
+		acc += h.buckets[i].Load()
+		counts[i] = acc
+	}
+	return bounds, counts
+}
+
+// TransitionKey labels one (context, from, to) transition counter.
+type TransitionKey struct {
+	Context, From, To string
+}
+
+// Registry aggregates the engine's metrics. A zero Registry is not usable;
+// construct with NewRegistry. One registry may be shared by several engines
+// (e.g. every engine of a Table 5 sweep) — all fields are concurrency-safe.
+type Registry struct {
+	// InstancesCreated counts every collection drawn from any context;
+	// InstancesMonitored counts the subset wrapped in monitors. Their
+	// quotient is the monitored fraction the paper's overhead argument
+	// depends on (Section 4.3).
+	InstancesCreated   Counter
+	InstancesMonitored Counter
+	// ContextsRegistered counts successful registrations;
+	// RegistrationsDropped counts registrations refused by closed engines.
+	ContextsRegistered   Counter
+	RegistrationsDropped Counter
+	// AnalysisRounds counts completed engine analysis passes;
+	// AnalysisLatency histograms their duration in seconds (Figure 7).
+	AnalysisRounds  Counter
+	AnalysisLatency *Histogram
+	// WindowsClosed counts completed monitoring rounds across contexts;
+	// RuleEvaluations counts selection-rule applications (one per closed
+	// window); WeakReclaims counts monitored instances whose weak pointer
+	// was observed cleared (the WeakReference technique at work);
+	// CooldownsEntered counts post-round cooldown activations;
+	// ConfigClamps counts configuration fields rewritten by validation.
+	WindowsClosed    Counter
+	RuleEvaluations  Counter
+	WeakReclaims     Counter
+	CooldownsEntered Counter
+	ConfigClamps     Counter
+
+	mu          sync.Mutex
+	transitions map[TransitionKey]int64
+}
+
+// NewRegistry returns an empty registry with the default latency buckets.
+func NewRegistry() *Registry {
+	return &Registry{
+		AnalysisLatency: NewHistogram(DefaultLatencyBounds()),
+		transitions:     make(map[TransitionKey]int64),
+	}
+}
+
+// MonitoredFraction returns monitored/created instances (0 when nothing was
+// created yet).
+func (r *Registry) MonitoredFraction() float64 {
+	created := r.InstancesCreated.Load()
+	if created == 0 {
+		return 0
+	}
+	return float64(r.InstancesMonitored.Load()) / float64(created)
+}
+
+// IncTransition bumps the (context, from, to) transition counter.
+func (r *Registry) IncTransition(context, from, to string) {
+	k := TransitionKey{Context: context, From: from, To: to}
+	r.mu.Lock()
+	r.transitions[k]++
+	r.mu.Unlock()
+}
+
+// TransitionCounts returns a copy of the per-(context, from, to) counters.
+func (r *Registry) TransitionCounts() map[TransitionKey]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[TransitionKey]int64, len(r.transitions))
+	for k, v := range r.transitions {
+		out[k] = v
+	}
+	return out
+}
+
+// TransitionsTotal returns the sum over all transition counters.
+func (r *Registry) TransitionsTotal() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, v := range r.transitions {
+		total += v
+	}
+	return total
+}
+
+// counterRows lists the scalar metrics in render order.
+func (r *Registry) counterRows() []struct {
+	name, help string
+	value      int64
+} {
+	return []struct {
+		name, help string
+		value      int64
+	}{
+		{"collectionswitch_instances_created_total", "collections drawn from allocation contexts", r.InstancesCreated.Load()},
+		{"collectionswitch_instances_monitored_total", "instances wrapped in monitors", r.InstancesMonitored.Load()},
+		{"collectionswitch_contexts_registered_total", "allocation contexts registered", r.ContextsRegistered.Load()},
+		{"collectionswitch_registrations_dropped_total", "registrations refused by closed engines", r.RegistrationsDropped.Load()},
+		{"collectionswitch_analysis_rounds_total", "completed engine analysis passes", r.AnalysisRounds.Load()},
+		{"collectionswitch_windows_closed_total", "completed monitoring rounds", r.WindowsClosed.Load()},
+		{"collectionswitch_rule_evaluations_total", "selection-rule applications", r.RuleEvaluations.Load()},
+		{"collectionswitch_weak_reclaims_total", "monitored instances observed reclaimed", r.WeakReclaims.Load()},
+		{"collectionswitch_cooldowns_entered_total", "post-round cooldown activations", r.CooldownsEntered.Load()},
+		{"collectionswitch_config_clamps_total", "configuration fields rewritten by validation", r.ConfigClamps.Load()},
+	}
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format, so
+// an HTTP metrics endpoint is `registry.WriteTo(w)` away.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, row := range r.counterRows() {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			row.name, row.help, row.name, row.name, row.value)
+	}
+	fmt.Fprintf(&b, "# HELP collectionswitch_monitored_fraction monitored/created instances\n")
+	fmt.Fprintf(&b, "# TYPE collectionswitch_monitored_fraction gauge\n")
+	fmt.Fprintf(&b, "collectionswitch_monitored_fraction %g\n", r.MonitoredFraction())
+
+	fmt.Fprintf(&b, "# HELP collectionswitch_transitions_total variant switches by context\n")
+	fmt.Fprintf(&b, "# TYPE collectionswitch_transitions_total counter\n")
+	counts := r.TransitionCounts()
+	keys := make([]TransitionKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Context != keys[j].Context {
+			return keys[i].Context < keys[j].Context
+		}
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "collectionswitch_transitions_total{context=%q,from=%q,to=%q} %d\n",
+			k.Context, k.From, k.To, counts[k])
+	}
+
+	const hname = "collectionswitch_analysis_round_seconds"
+	fmt.Fprintf(&b, "# HELP %s engine analysis pass latency\n# TYPE %s histogram\n", hname, hname)
+	bounds, cum := r.AnalysisLatency.Cumulative()
+	for i, bound := range bounds {
+		le := "+Inf"
+		if !math.IsInf(bound, 1) {
+			le = fmt.Sprintf("%g", bound)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", hname, le, cum[i])
+	}
+	fmt.Fprintf(&b, "%s_sum %g\n", hname, r.AnalysisLatency.Sum())
+	fmt.Fprintf(&b, "%s_count %d\n", hname, r.AnalysisLatency.Count())
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// expvarMu serializes expvar publication: expvar.Publish panics on duplicate
+// names, so PublishExpvar checks-then-publishes under this lock.
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry under the given expvar name as a JSON
+// snapshot (counters, monitored fraction, transition counters, latency
+// summary). It returns false when the name is already taken — typically by
+// an earlier registry — and leaves the existing binding untouched.
+func (r *Registry) PublishExpvar(name string) bool {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.snapshot() }))
+	return true
+}
+
+// snapshot builds the expvar JSON view.
+func (r *Registry) snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, row := range r.counterRows() {
+		out[strings.TrimPrefix(row.name, "collectionswitch_")] = row.value
+	}
+	out["monitored_fraction"] = r.MonitoredFraction()
+	transitions := make(map[string]int64)
+	for k, v := range r.TransitionCounts() {
+		transitions[fmt.Sprintf("%s: %s -> %s", k.Context, k.From, k.To)] = v
+	}
+	out["transitions"] = transitions
+	out["analysis_round_seconds_sum"] = r.AnalysisLatency.Sum()
+	out["analysis_round_seconds_count"] = r.AnalysisLatency.Count()
+	return out
+}

@@ -1,0 +1,213 @@
+// Package obs is the observability layer of the CollectionSwitch engine:
+// typed framework events delivered to pluggable sinks, plus a metrics
+// registry of atomic counters, gauges and histograms.
+//
+// The paper describes "a detailed log system for tracing framework events"
+// as its debuggability mitigation (Section 4.4). This package upgrades that
+// story from an unstructured printf hook to structured telemetry: every
+// framework action — context registration, analysis rounds, window
+// completion, variant transitions, cooldowns, configuration clamping,
+// engine shutdown — is a typed event that can be exported as JSONL,
+// buffered in memory, fanned out to several sinks at once, or rendered
+// through a legacy Logf adapter. The quantities the paper's evaluation
+// argues about (monitored fraction, finished ratio, analysis-round latency,
+// per-site transition churn) are first-class metrics.
+//
+// The package is dependency-free: it imports only the standard library and
+// is imported by internal/core, internal/apps and the command harnesses.
+package obs
+
+import "fmt"
+
+// Kind discriminates event types in serialized form.
+type Kind string
+
+// The event taxonomy. One Kind per concrete event struct.
+const (
+	KindContextRegistered Kind = "context_registered"
+	KindRoundStarted      Kind = "round_started"
+	KindRoundCompleted    Kind = "round_completed"
+	KindWindowClosed      Kind = "window_closed"
+	KindTransition        Kind = "transition"
+	KindCooldownEntered   Kind = "cooldown_entered"
+	KindConfigClamped     Kind = "config_clamped"
+	KindEngineClosed      Kind = "engine_closed"
+)
+
+// Event is one structured framework event. Concrete types are plain value
+// structs with JSON tags so every event round-trips through the JSONL sink.
+type Event interface {
+	// EventKind returns the serialization discriminator.
+	EventKind() Kind
+	// EngineName returns the label of the engine that emitted the event
+	// ("" for unlabeled engines).
+	EngineName() string
+	// Logline renders the event as a printf pair. The formats of the
+	// events that existed in the legacy Logf hook (context registration,
+	// transitions, completed windows) are byte-identical to the legacy
+	// output, so a Logf adapter reproduces the historical trace log.
+	Logline() (format string, args []any)
+}
+
+// Sink receives events. Emit may be called from the analysis goroutine and
+// must be safe for concurrent use; implementations should return quickly.
+type Sink interface {
+	Emit(Event)
+}
+
+// Line renders an event through its Logline formatting.
+func Line(e Event) string {
+	format, args := e.Logline()
+	return fmt.Sprintf(format, args...)
+}
+
+// ContextRegistered reports an allocation context joining (or, when Dropped,
+// being refused by) an engine.
+type ContextRegistered struct {
+	Engine  string `json:"engine,omitempty"`
+	Context string `json:"context"`
+	// Dropped marks a registration that arrived after Close: the context
+	// stays usable for collection creation but is never analyzed.
+	Dropped bool `json:"dropped,omitempty"`
+}
+
+func (ContextRegistered) EventKind() Kind      { return KindContextRegistered }
+func (e ContextRegistered) EngineName() string { return e.Engine }
+func (e ContextRegistered) Logline() (string, []any) {
+	if e.Dropped {
+		return "context registration ignored (engine closed): %s", []any{e.Context}
+	}
+	return "context registered: %s", []any{e.Context}
+}
+
+// ContextWindowStat is the per-context monitoring state snapshot attached to
+// RoundCompleted events.
+type ContextWindowStat struct {
+	Context    string `json:"context"`
+	Variant    string `json:"variant"`
+	Round      int    `json:"round"`       // completed rounds at this context
+	WindowFill int    `json:"window_fill"` // monitored instances in the open window
+	Folded     int    `json:"folded"`      // instances folded into the aggregate
+	Cooldown   int    `json:"cooldown"`    // unmonitored creations remaining
+}
+
+// RoundStarted reports the beginning of one engine analysis pass.
+type RoundStarted struct {
+	Engine   string `json:"engine,omitempty"`
+	Round    int    `json:"round"`
+	Contexts int    `json:"contexts"`
+}
+
+func (RoundStarted) EventKind() Kind      { return KindRoundStarted }
+func (e RoundStarted) EngineName() string { return e.Engine }
+func (e RoundStarted) Logline() (string, []any) {
+	return "analysis round %d started (%d contexts)", []any{e.Round, e.Contexts}
+}
+
+// RoundCompleted reports the end of one engine analysis pass with its
+// duration — the quantity behind the Figure 7 overhead claim — and the
+// window state of every analyzed context.
+type RoundCompleted struct {
+	Engine     string              `json:"engine,omitempty"`
+	Round      int                 `json:"round"`
+	DurationNs int64               `json:"duration_ns"`
+	Contexts   []ContextWindowStat `json:"contexts,omitempty"`
+}
+
+func (RoundCompleted) EventKind() Kind      { return KindRoundCompleted }
+func (e RoundCompleted) EngineName() string { return e.Engine }
+func (e RoundCompleted) Logline() (string, []any) {
+	return "analysis round %d completed in %dns (%d contexts)",
+		[]any{e.Round, e.DurationNs, len(e.Contexts)}
+}
+
+// WindowClosed reports one allocation context completing a monitoring round:
+// the window filled, the finished ratio was reached, and the selection rule
+// was evaluated. Round is 1-based (the round that just completed) to match
+// the legacy trace wording.
+type WindowClosed struct {
+	Engine     string `json:"engine,omitempty"`
+	Context    string `json:"context"`
+	Round      int    `json:"round"`
+	Variant    string `json:"variant"` // variant after any switch
+	WindowSize int    `json:"window_size"`
+	// Finished is the number of instances that became unreachable before
+	// decision time; FinishedRatio = Finished/WindowSize (the paper's
+	// gating quantity, Section 4.3).
+	Finished      int     `json:"finished"`
+	FinishedRatio float64 `json:"finished_ratio"`
+	// SizeSpread is maxSize/minSize over the folded workloads — the
+	// adaptive-variant gate of Section 3.2.
+	SizeSpread float64 `json:"size_spread"`
+}
+
+func (WindowClosed) EventKind() Kind      { return KindWindowClosed }
+func (e WindowClosed) EngineName() string { return e.Engine }
+func (e WindowClosed) Logline() (string, []any) {
+	return "round %d complete at %s (variant %s)", []any{e.Round, e.Context, e.Variant}
+}
+
+// Transition reports one variant switch with the full TC_D ratio map the
+// rule evaluated — everything Table 6 needs travels on this event.
+type Transition struct {
+	Engine  string `json:"engine,omitempty"`
+	Context string `json:"context"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Round   int    `json:"round"` // 0-based monitoring round that triggered it
+	// Ratios holds TC_D(new)/TC_D(current) per rule dimension.
+	Ratios map[string]float64 `json:"ratios,omitempty"`
+}
+
+func (Transition) EventKind() Kind      { return KindTransition }
+func (e Transition) EngineName() string { return e.Engine }
+func (e Transition) Logline() (string, []any) {
+	return "transition at %s (round %d): %s -> %s", []any{e.Context, e.Round, e.From, e.To}
+}
+
+// CooldownEntered reports a context beginning its post-round cooldown: the
+// next SkipNext instance creations are handed out unmonitored.
+type CooldownEntered struct {
+	Engine   string `json:"engine,omitempty"`
+	Context  string `json:"context"`
+	Round    int    `json:"round"` // 1-based round that triggered the cooldown
+	SkipNext int    `json:"skip_next"`
+}
+
+func (CooldownEntered) EventKind() Kind      { return KindCooldownEntered }
+func (e CooldownEntered) EngineName() string { return e.Engine }
+func (e CooldownEntered) Logline() (string, []any) {
+	return "cooldown at %s after round %d: next %d instances unmonitored",
+		[]any{e.Context, e.Round, e.SkipNext}
+}
+
+// ConfigClamped reports a configuration field that was silently rewritten by
+// validation — misconfiguration made visible (e.g. FinishedRatio > 1).
+type ConfigClamped struct {
+	Engine string  `json:"engine,omitempty"`
+	Field  string  `json:"field"`
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+}
+
+func (ConfigClamped) EventKind() Kind      { return KindConfigClamped }
+func (e ConfigClamped) EngineName() string { return e.Engine }
+func (e ConfigClamped) Logline() (string, []any) {
+	return "config clamped: %s %g -> %g", []any{e.Field, e.From, e.To}
+}
+
+// EngineClosed reports engine shutdown after any in-flight analysis pass has
+// drained.
+type EngineClosed struct {
+	Engine      string `json:"engine,omitempty"`
+	Contexts    int    `json:"contexts"`
+	Rounds      int    `json:"rounds"` // engine analysis passes run
+	Transitions int    `json:"transitions"`
+}
+
+func (EngineClosed) EventKind() Kind      { return KindEngineClosed }
+func (e EngineClosed) EngineName() string { return e.Engine }
+func (e EngineClosed) Logline() (string, []any) {
+	return "engine closed: %d contexts, %d rounds, %d transitions",
+		[]any{e.Contexts, e.Rounds, e.Transitions}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import "sync"
+
+// RingSink keeps the most recent events in a fixed-capacity ring buffer —
+// the in-memory sink for tests and for "last N events" debugging views.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int
+	n     int
+	total int64
+}
+
+// NewRingSink returns a ring buffer holding at most capacity events
+// (minimum 1). Older events are evicted as newer ones arrive.
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit appends the event, evicting the oldest when full.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = e
+		s.n++
+		return
+	}
+	s.buf[s.start] = e
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Total returns the number of events ever emitted, including evicted ones.
+func (s *RingSink) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Collector retains every emitted event — the unbounded sibling of RingSink,
+// used where the full stream must be replayed (e.g. rebuilding the Table 6
+// aggregation from Transition events).
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollector returns an empty unbounded collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit appends the event.
+func (s *Collector) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of every event in emission order.
+func (s *Collector) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// multiSink fans every event out to several sinks in fixed order.
+type multiSink struct {
+	sinks []Sink
+}
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m.sinks {
+		s.Emit(e)
+	}
+}
+
+// Multi returns a sink delivering every event to each non-nil sink in
+// argument order. Nil sinks are dropped; with zero or one survivor the
+// multiplexer collapses to nil or the sink itself.
+func Multi(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return multiSink{sinks: kept}
+	}
+}
+
+// LogfSink adapts a printf-style callback to the event stream: every event
+// is rendered through its Logline formatting. The events that existed in the
+// legacy Config.Logf hook produce byte-identical lines, so pre-existing log
+// scrapers keep working.
+type LogfSink struct {
+	fn func(format string, args ...any)
+}
+
+// NewLogfSink wraps fn; a nil fn yields a sink that drops everything.
+func NewLogfSink(fn func(format string, args ...any)) *LogfSink {
+	return &LogfSink{fn: fn}
+}
+
+// Emit formats the event through the callback.
+func (s *LogfSink) Emit(e Event) {
+	if s.fn == nil {
+		return
+	}
+	format, args := e.Logline()
+	s.fn(format, args...)
+}
