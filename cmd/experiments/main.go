@@ -30,6 +30,7 @@ func main() {
 	modelsPath := flag.String("models", "", "optional perfmodel JSON built by cmd/perfmodel")
 	tracePath := flag.String("trace", "", "write structured framework events (JSONL) to this file")
 	metrics := flag.Bool("metrics", false, "print a metrics summary after each experiment")
+	parallel := flag.Int("parallel", 1, "analysis worker pool per engine (Config.AnalysisParallelism); 1 keeps the deterministic sequential trace ordering, 0 uses GOMAXPROCS")
 	flag.Parse()
 
 	if *list {
@@ -66,7 +67,7 @@ func main() {
 	// one metrics registry, and -trace exports their event streams as
 	// JSONL (the Table 6 rows are exactly reconstructible from that file
 	// via experiments.Table6FromEvents / obs.ReadAll).
-	o := experiments.Obs{Metrics: obs.NewRegistry()}
+	o := experiments.Obs{Metrics: obs.NewRegistry(), Parallelism: *parallel}
 	var traceSink *obs.JSONLSink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -68,10 +68,18 @@ func main() {
 	metrics.PublishExpvar("collectionswitch") // curl /debug/vars in a real service
 
 	engine := core.NewEngineManual(core.Config{
-		Rule:    core.Renergy(),
-		Name:    "telemetry",
-		Sink:    obs.Multi(jsonl, ring),
-		Metrics: metrics,
+		Rule: core.Renergy(),
+		// AnalysisParallelism 1 keeps the trace in deterministic
+		// registration order; a service with many contexts would leave it
+		// at the default (GOMAXPROCS) so analysis latency stays flat.
+		AnalysisParallelism: 1,
+		// AnalysisSpans adds one ContextAnalyzed event per context per
+		// pass — per-context analysis latency, the debugging view of the
+		// Figure 7 overhead argument.
+		AnalysisSpans: true,
+		Name:          "telemetry",
+		Sink:          obs.Multi(jsonl, ring),
+		Metrics:       metrics,
 	})
 	ctx := core.NewSetContext[int](engine, core.WithName("telemetry/AlertSet"))
 
@@ -126,11 +134,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\ntrace: %d events in %s\n", len(events), tracePath)
+	spans := 0
+	var spanNs int64
 	for _, ev := range events {
-		if t, ok := ev.(obs.Transition); ok {
+		switch t := ev.(type) {
+		case obs.Transition:
 			fmt.Printf("  transition (round %d): %s -> %s (energy ratio %.2f)\n",
 				t.Round, t.From, t.To, t.Ratios["energy-nj"])
+		case obs.ContextAnalyzed:
+			spans++
+			spanNs += t.DurationNs
 		}
+	}
+	if spans > 0 {
+		fmt.Printf("  analysis spans: %d ContextAnalyzed events, %dns mean per-context analyze\n",
+			spans, spanNs/int64(spans))
 	}
 
 	// 2. The ring buffer holds the most recent events — what a debug

@@ -202,6 +202,11 @@ type Obs struct {
 	Label   string
 	Sink    obs.Sink
 	Metrics *obs.Registry
+	// Parallelism is handed to the engine as Config.AnalysisParallelism:
+	// 0 uses the engine default (GOMAXPROCS); 1 analyzes contexts
+	// sequentially in registration order, reproducing the historical
+	// single-threaded event stream exactly.
+	Parallelism int
 }
 
 // Run executes app once in the given mode and returns its measurements.
@@ -221,12 +226,13 @@ func RunObs(app App, mode Mode, rule core.Rule, seed int64, o Obs) Result {
 	if mode == ModeFullAdap {
 		col = obs.NewCollector()
 		engine = core.NewEngineManual(core.Config{
-			WindowSize:    100,
-			FinishedRatio: 0.6,
-			Rule:          rule,
-			Name:          o.Label,
-			Sink:          obs.Multi(col, o.Sink),
-			Metrics:       o.Metrics,
+			WindowSize:          100,
+			FinishedRatio:       0.6,
+			Rule:                rule,
+			AnalysisParallelism: o.Parallelism,
+			Name:                o.Label,
+			Sink:                obs.Multi(col, o.Sink),
+			Metrics:             o.Metrics,
 		})
 		defer engine.Close()
 	}

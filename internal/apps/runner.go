@@ -65,6 +65,10 @@ type RunConfig struct {
 	// Metrics, when non-nil, aggregates engine counters across the
 	// measured runs.
 	Metrics *obs.Registry
+	// Parallelism bounds each run engine's analysis worker pool
+	// (Config.AnalysisParallelism). 0 uses the engine default (GOMAXPROCS);
+	// 1 reproduces the historical sequential event ordering.
+	Parallelism int
 }
 
 // DefaultRunConfig returns the paper's run counts at full scale.
@@ -85,9 +89,10 @@ func measureCell(app App, mode Mode, rule core.Rule, cfg RunConfig) Cell {
 		Run(app, mode, rule, cfg.Seed)
 	}
 	o := Obs{
-		Label:   fmt.Sprintf("%s/%s/%s", app.Name(), mode, rule.Name),
-		Sink:    cfg.Sink,
-		Metrics: cfg.Metrics,
+		Label:       fmt.Sprintf("%s/%s/%s", app.Name(), mode, rule.Name),
+		Sink:        cfg.Sink,
+		Metrics:     cfg.Metrics,
+		Parallelism: cfg.Parallelism,
 	}
 	for i := 0; i < cfg.Measured; i++ {
 		res := RunObs(app, mode, rule, cfg.Seed, o)

@@ -1,437 +1,157 @@
 package core
 
 import (
-	"math"
-	"sync"
-	"weak"
-
 	"repro/internal/collections"
-	"repro/internal/obs"
 )
 
-// This file implements the adaptive allocation contexts of Section 4.3 for
-// the three abstractions. The three types are structurally identical —
-// Go generics cannot abstract over the differing method sets of List, Set
-// and Map — but all selection logic is shared through costAgg and decide.
+// The public allocation-context types for the three abstractions. All
+// selection logic lives in siteCore (sitecore.go); the wrappers below
+// contribute exactly two abstraction-specific ingredients: the
+// monitor-wrapping functions and the adaptive transition threshold.
 
-// listRecord tracks one monitored list instance: a weak pointer to the
-// monitor (so the context never keeps the collection alive — the paper's
-// WeakReference technique) and a strong pointer to its profile.
-type listRecord[T comparable] struct {
-	ref    weak.Pointer[monitoredList[T]]
-	p      *profile
-	folded bool
+// wrapList/unwrapList adapt monitoredList to the siteCore monitor hooks.
+func wrapList[T comparable](inner collections.List[T], p *profile) *monitoredList[T] {
+	return &monitoredList[T]{inner: inner, p: p}
+}
+func unwrapList[T comparable](m *monitoredList[T]) collections.List[T] { return m }
+
+func wrapSet[T comparable](inner collections.Set[T], p *profile) *monitoredSet[T] {
+	return &monitoredSet[T]{inner: inner, p: p}
+}
+func unwrapSet[T comparable](m *monitoredSet[T]) collections.Set[T] { return m }
+
+func wrapMap[K comparable, V any](inner collections.Map[K, V], p *profile) *monitoredMap[K, V] {
+	return &monitoredMap[K, V]{inner: inner, p: p}
+}
+func unwrapMap[K comparable, V any](m *monitoredMap[K, V]) collections.Map[K, V] { return m }
+
+// listFactories/setFactories/mapFactories flatten a variant slice into the
+// (ids, factory map) pair siteCore consumes.
+func listFactories[T comparable](variants []collections.ListVariant[T]) ([]collections.VariantID, map[collections.VariantID]func(int) collections.List[T]) {
+	ids := make([]collections.VariantID, 0, len(variants))
+	factories := make(map[collections.VariantID]func(int) collections.List[T], len(variants))
+	for _, v := range variants {
+		ids = append(ids, v.ID)
+		factories[v.ID] = v.New
+	}
+	return ids, factories
+}
+
+func setFactories[T comparable](variants []collections.SetVariant[T]) ([]collections.VariantID, map[collections.VariantID]func(int) collections.Set[T]) {
+	ids := make([]collections.VariantID, 0, len(variants))
+	factories := make(map[collections.VariantID]func(int) collections.Set[T], len(variants))
+	for _, v := range variants {
+		ids = append(ids, v.ID)
+		factories[v.ID] = v.New
+	}
+	return ids, factories
+}
+
+func mapFactories[K comparable, V any](variants []collections.MapVariant[K, V]) ([]collections.VariantID, map[collections.VariantID]func(int) collections.Map[K, V]) {
+	ids := make([]collections.VariantID, 0, len(variants))
+	factories := make(map[collections.VariantID]func(int) collections.Map[K, V], len(variants))
+	for _, v := range variants {
+		ids = append(ids, v.ID)
+		factories[v.ID] = v.New
+	}
+	return ids, factories
 }
 
 // ListContext is an adaptive allocation context for lists. Create it once
 // per allocation site (typically in a package-level variable — the paper's
 // "static context") and obtain collections through NewList.
 type ListContext[T comparable] struct {
-	e    *Engine
-	name string
-
-	factories map[collections.VariantID]func(int) collections.List[T]
-
-	// The following are guarded by the engine-independent context lock
-	// embedded in the analyze/create paths.
-	mu       sync.Mutex
-	current  collections.VariantID
-	window   []*listRecord[T]
-	agg      *costAgg
-	round    int
-	cooldown int // unmonitored creations remaining before the next round
+	core siteCore[collections.List[T], monitoredList[T]]
 }
 
 // NewListContext registers a list allocation context with the engine. The
 // default variant is ArrayList (the JDK-dominant choice reported by the
 // paper's empirical study) unless overridden with WithDefaultVariant.
 func NewListContext[T comparable](e *Engine, opts ...Option) *ListContext[T] {
-	ids := make([]collections.VariantID, 0, 4)
-	factories := make(map[collections.VariantID]func(int) collections.List[T])
-	for _, v := range collections.ListVariants[T]() {
-		ids = append(ids, v.ID)
-		factories[v.ID] = v.New
-	}
+	ids, factories := listFactories(collections.ListVariants[T]())
 	o := resolveOptions(opts, collections.ArrayListID, ids, 2)
-	candidates := filterKnown(o.candidates, factories)
-	c := &ListContext[T]{
-		e:         e,
-		name:      o.name,
-		factories: factories,
-		current:   o.defaultVar,
-		agg:       newCostAgg(e.cfg.Models, candidates),
-	}
 	if _, ok := factories[o.defaultVar]; !ok {
 		panic("core: unknown default list variant " + string(o.defaultVar))
 	}
-	e.register(c)
+	c := &ListContext[T]{}
+	c.core.init(e, o, factories, wrapList[T], unwrapList[T], collections.DefaultListThreshold)
+	e.register(&c.core)
 	return c
 }
 
 // NewList returns a list of the context's current variant. The first
 // WindowSize instances of each monitoring round are wrapped in monitors.
-func (c *ListContext[T]) NewList() collections.List[T] {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.e.metrics.InstancesCreated.Add(1)
-	inner := c.factories[c.current](0)
-	if c.cooldown > 0 {
-		c.cooldown--
-		return inner
-	}
-	if len(c.window) < c.e.cfg.WindowSize {
-		c.e.metrics.InstancesMonitored.Add(1)
-		p := &profile{}
-		m := &monitoredList[T]{inner: inner, p: p}
-		c.window = append(c.window, &listRecord[T]{ref: weak.Make(m), p: p})
-		return m
-	}
-	return inner
-}
+func (c *ListContext[T]) NewList() collections.List[T] { return c.core.newCollection() }
 
 // CurrentVariant returns the variant future instantiations will use.
-func (c *ListContext[T]) CurrentVariant() collections.VariantID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.current
-}
+func (c *ListContext[T]) CurrentVariant() collections.VariantID { return c.core.currentVariant() }
 
 // Round returns the number of completed analysis rounds.
-func (c *ListContext[T]) Round() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.round
-}
+func (c *ListContext[T]) Round() int { return c.core.completedRounds() }
 
 // Name returns the context's site label.
-func (c *ListContext[T]) Name() string { return c.name }
-
-func (c *ListContext[T]) contextName() string { return c.name }
-
-func (c *ListContext[T]) windowStats() obs.ContextWindowStat {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return obs.ContextWindowStat{
-		Context: c.name, Variant: string(c.current), Round: c.round,
-		WindowFill: len(c.window), Folded: c.agg.folded, Cooldown: c.cooldown,
-	}
-}
-
-// analyze folds finished instances and, when the window is complete and the
-// finished ratio reached, applies the selection rule (Sections 3.1, 4.3).
-func (c *ListContext[T]) analyze() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	reclaimed := 0
-	for _, r := range c.window {
-		if !r.folded && r.ref.Value() == nil {
-			c.agg.fold(r.p.snapshot())
-			r.folded = true
-			reclaimed++
-		}
-	}
-	if reclaimed > 0 {
-		c.e.metrics.WeakReclaims.Add(int64(reclaimed))
-	}
-	if len(c.window) < c.e.cfg.WindowSize {
-		return
-	}
-	if c.agg.folded < neededFolds(c.e.cfg) {
-		return
-	}
-	// Decision time: use the whole set of metrics, including instances
-	// still alive (the paper folds all collected metrics; the finished
-	// ratio only gates when the analysis may run).
-	finished := c.agg.folded
-	for _, r := range c.window {
-		if !r.folded {
-			c.agg.fold(r.p.snapshot())
-			r.folded = true
-		}
-	}
-	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
-	c.current = c.e.closeWindow(c.name, c.agg, c.current, c.round, collections.DefaultListThreshold, finished, cooldown)
-	c.window = c.window[:0]
-	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
-	c.round++
-	c.cooldown = cooldown
-}
-
-// setRecord tracks one monitored set instance.
-type setRecord[T comparable] struct {
-	ref    weak.Pointer[monitoredSet[T]]
-	p      *profile
-	folded bool
-}
+func (c *ListContext[T]) Name() string { return c.core.contextName() }
 
 // SetContext is an adaptive allocation context for sets.
 type SetContext[T comparable] struct {
-	e    *Engine
-	name string
-
-	factories map[collections.VariantID]func(int) collections.Set[T]
-
-	mu       sync.Mutex
-	current  collections.VariantID
-	window   []*setRecord[T]
-	agg      *costAgg
-	round    int
-	cooldown int
+	core siteCore[collections.Set[T], monitoredSet[T]]
 }
 
 // NewSetContext registers a set allocation context with the engine; the
 // default variant is the chained HashSet.
 func NewSetContext[T comparable](e *Engine, opts ...Option) *SetContext[T] {
-	ids := make([]collections.VariantID, 0, 8)
-	factories := make(map[collections.VariantID]func(int) collections.Set[T])
-	for _, v := range collections.SetVariants[T]() {
-		ids = append(ids, v.ID)
-		factories[v.ID] = v.New
-	}
+	ids, factories := setFactories(collections.SetVariants[T]())
 	o := resolveOptions(opts, collections.HashSetID, ids, 2)
-	candidates := filterKnown(o.candidates, factories)
-	c := &SetContext[T]{
-		e:         e,
-		name:      o.name,
-		factories: factories,
-		current:   o.defaultVar,
-		agg:       newCostAgg(e.cfg.Models, candidates),
-	}
 	if _, ok := factories[o.defaultVar]; !ok {
 		panic("core: unknown default set variant " + string(o.defaultVar))
 	}
-	e.register(c)
+	c := &SetContext[T]{}
+	c.core.init(e, o, factories, wrapSet[T], unwrapSet[T], collections.DefaultSetThreshold)
+	e.register(&c.core)
 	return c
 }
 
 // NewSet returns a set of the context's current variant, monitored while
 // the window has room.
-func (c *SetContext[T]) NewSet() collections.Set[T] {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.e.metrics.InstancesCreated.Add(1)
-	inner := c.factories[c.current](0)
-	if c.cooldown > 0 {
-		c.cooldown--
-		return inner
-	}
-	if len(c.window) < c.e.cfg.WindowSize {
-		c.e.metrics.InstancesMonitored.Add(1)
-		p := &profile{}
-		m := &monitoredSet[T]{inner: inner, p: p}
-		c.window = append(c.window, &setRecord[T]{ref: weak.Make(m), p: p})
-		return m
-	}
-	return inner
-}
+func (c *SetContext[T]) NewSet() collections.Set[T] { return c.core.newCollection() }
 
 // CurrentVariant returns the variant future instantiations will use.
-func (c *SetContext[T]) CurrentVariant() collections.VariantID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.current
-}
+func (c *SetContext[T]) CurrentVariant() collections.VariantID { return c.core.currentVariant() }
 
 // Round returns the number of completed analysis rounds.
-func (c *SetContext[T]) Round() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.round
-}
+func (c *SetContext[T]) Round() int { return c.core.completedRounds() }
 
 // Name returns the context's site label.
-func (c *SetContext[T]) Name() string { return c.name }
-
-func (c *SetContext[T]) contextName() string { return c.name }
-
-func (c *SetContext[T]) windowStats() obs.ContextWindowStat {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return obs.ContextWindowStat{
-		Context: c.name, Variant: string(c.current), Round: c.round,
-		WindowFill: len(c.window), Folded: c.agg.folded, Cooldown: c.cooldown,
-	}
-}
-
-func (c *SetContext[T]) analyze() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	reclaimed := 0
-	for _, r := range c.window {
-		if !r.folded && r.ref.Value() == nil {
-			c.agg.fold(r.p.snapshot())
-			r.folded = true
-			reclaimed++
-		}
-	}
-	if reclaimed > 0 {
-		c.e.metrics.WeakReclaims.Add(int64(reclaimed))
-	}
-	if len(c.window) < c.e.cfg.WindowSize {
-		return
-	}
-	if c.agg.folded < neededFolds(c.e.cfg) {
-		return
-	}
-	finished := c.agg.folded
-	for _, r := range c.window {
-		if !r.folded {
-			c.agg.fold(r.p.snapshot())
-			r.folded = true
-		}
-	}
-	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
-	c.current = c.e.closeWindow(c.name, c.agg, c.current, c.round, collections.DefaultSetThreshold, finished, cooldown)
-	c.window = c.window[:0]
-	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
-	c.round++
-	c.cooldown = cooldown
-}
-
-// mapRecord tracks one monitored map instance.
-type mapRecord[K comparable, V any] struct {
-	ref    weak.Pointer[monitoredMap[K, V]]
-	p      *profile
-	folded bool
-}
+func (c *SetContext[T]) Name() string { return c.core.contextName() }
 
 // MapContext is an adaptive allocation context for maps.
 type MapContext[K comparable, V any] struct {
-	e    *Engine
-	name string
-
-	factories map[collections.VariantID]func(int) collections.Map[K, V]
-
-	mu       sync.Mutex
-	current  collections.VariantID
-	window   []*mapRecord[K, V]
-	agg      *costAgg
-	round    int
-	cooldown int
+	core siteCore[collections.Map[K, V], monitoredMap[K, V]]
 }
 
 // NewMapContext registers a map allocation context with the engine; the
 // default variant is the chained HashMap.
 func NewMapContext[K comparable, V any](e *Engine, opts ...Option) *MapContext[K, V] {
-	ids := make([]collections.VariantID, 0, 8)
-	factories := make(map[collections.VariantID]func(int) collections.Map[K, V])
-	for _, v := range collections.MapVariants[K, V]() {
-		ids = append(ids, v.ID)
-		factories[v.ID] = v.New
-	}
+	ids, factories := mapFactories(collections.MapVariants[K, V]())
 	o := resolveOptions(opts, collections.HashMapID, ids, 2)
-	candidates := filterKnown(o.candidates, factories)
-	c := &MapContext[K, V]{
-		e:         e,
-		name:      o.name,
-		factories: factories,
-		current:   o.defaultVar,
-		agg:       newCostAgg(e.cfg.Models, candidates),
-	}
 	if _, ok := factories[o.defaultVar]; !ok {
 		panic("core: unknown default map variant " + string(o.defaultVar))
 	}
-	e.register(c)
+	c := &MapContext[K, V]{}
+	c.core.init(e, o, factories, wrapMap[K, V], unwrapMap[K, V], collections.DefaultMapThreshold)
+	e.register(&c.core)
 	return c
 }
 
 // NewMap returns a map of the context's current variant, monitored while
 // the window has room.
-func (c *MapContext[K, V]) NewMap() collections.Map[K, V] {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.e.metrics.InstancesCreated.Add(1)
-	inner := c.factories[c.current](0)
-	if c.cooldown > 0 {
-		c.cooldown--
-		return inner
-	}
-	if len(c.window) < c.e.cfg.WindowSize {
-		c.e.metrics.InstancesMonitored.Add(1)
-		p := &profile{}
-		m := &monitoredMap[K, V]{inner: inner, p: p}
-		c.window = append(c.window, &mapRecord[K, V]{ref: weak.Make(m), p: p})
-		return m
-	}
-	return inner
-}
+func (c *MapContext[K, V]) NewMap() collections.Map[K, V] { return c.core.newCollection() }
 
 // CurrentVariant returns the variant future instantiations will use.
-func (c *MapContext[K, V]) CurrentVariant() collections.VariantID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.current
-}
+func (c *MapContext[K, V]) CurrentVariant() collections.VariantID { return c.core.currentVariant() }
 
 // Round returns the number of completed analysis rounds.
-func (c *MapContext[K, V]) Round() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.round
-}
+func (c *MapContext[K, V]) Round() int { return c.core.completedRounds() }
 
 // Name returns the context's site label.
-func (c *MapContext[K, V]) Name() string { return c.name }
-
-func (c *MapContext[K, V]) contextName() string { return c.name }
-
-func (c *MapContext[K, V]) windowStats() obs.ContextWindowStat {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return obs.ContextWindowStat{
-		Context: c.name, Variant: string(c.current), Round: c.round,
-		WindowFill: len(c.window), Folded: c.agg.folded, Cooldown: c.cooldown,
-	}
-}
-
-func (c *MapContext[K, V]) analyze() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	reclaimed := 0
-	for _, r := range c.window {
-		if !r.folded && r.ref.Value() == nil {
-			c.agg.fold(r.p.snapshot())
-			r.folded = true
-			reclaimed++
-		}
-	}
-	if reclaimed > 0 {
-		c.e.metrics.WeakReclaims.Add(int64(reclaimed))
-	}
-	if len(c.window) < c.e.cfg.WindowSize {
-		return
-	}
-	if c.agg.folded < neededFolds(c.e.cfg) {
-		return
-	}
-	finished := c.agg.folded
-	for _, r := range c.window {
-		if !r.folded {
-			c.agg.fold(r.p.snapshot())
-			r.folded = true
-		}
-	}
-	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
-	c.current = c.e.closeWindow(c.name, c.agg, c.current, c.round, collections.DefaultMapThreshold, finished, cooldown)
-	c.window = c.window[:0]
-	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
-	c.round++
-	c.cooldown = cooldown
-}
-
-// neededFolds converts the finished ratio into an instance count.
-func neededFolds(cfg Config) int {
-	return int(math.Ceil(cfg.FinishedRatio * float64(cfg.WindowSize)))
-}
-
-// filterKnown drops candidate IDs that have no factory (e.g. a map variant
-// ID passed to a list context).
-func filterKnown[F any](ids []collections.VariantID, factories map[collections.VariantID]F) []collections.VariantID {
-	out := make([]collections.VariantID, 0, len(ids))
-	for _, id := range ids {
-		if _, ok := factories[id]; ok {
-			out = append(out, id)
-		}
-	}
-	return out
-}
+func (c *MapContext[K, V]) Name() string { return c.core.contextName() }

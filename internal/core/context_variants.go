@@ -17,25 +17,14 @@ func NewListContextWithVariants[T comparable](e *Engine, variants []collections.
 	if len(variants) == 0 {
 		panic("core: NewListContextWithVariants needs at least one variant")
 	}
-	ids := make([]collections.VariantID, 0, len(variants))
-	factories := make(map[collections.VariantID]func(int) collections.List[T], len(variants))
-	for _, v := range variants {
-		ids = append(ids, v.ID)
-		factories[v.ID] = v.New
-	}
+	ids, factories := listFactories(variants)
 	o := resolveOptions(opts, variants[0].ID, ids, 2)
-	candidates := filterKnown(o.candidates, factories)
 	if _, ok := factories[o.defaultVar]; !ok {
 		panic("core: default variant " + string(o.defaultVar) + " not among supplied variants")
 	}
-	c := &ListContext[T]{
-		e:         e,
-		name:      o.name,
-		factories: factories,
-		current:   o.defaultVar,
-		agg:       newCostAgg(e.cfg.Models, candidates),
-	}
-	e.register(c)
+	c := &ListContext[T]{}
+	c.core.init(e, o, factories, wrapList[T], unwrapList[T], collections.DefaultListThreshold)
+	e.register(&c.core)
 	return c
 }
 
@@ -45,25 +34,14 @@ func NewSetContextWithVariants[T comparable](e *Engine, variants []collections.S
 	if len(variants) == 0 {
 		panic("core: NewSetContextWithVariants needs at least one variant")
 	}
-	ids := make([]collections.VariantID, 0, len(variants))
-	factories := make(map[collections.VariantID]func(int) collections.Set[T], len(variants))
-	for _, v := range variants {
-		ids = append(ids, v.ID)
-		factories[v.ID] = v.New
-	}
+	ids, factories := setFactories(variants)
 	o := resolveOptions(opts, variants[0].ID, ids, 2)
-	candidates := filterKnown(o.candidates, factories)
 	if _, ok := factories[o.defaultVar]; !ok {
 		panic("core: default variant " + string(o.defaultVar) + " not among supplied variants")
 	}
-	c := &SetContext[T]{
-		e:         e,
-		name:      o.name,
-		factories: factories,
-		current:   o.defaultVar,
-		agg:       newCostAgg(e.cfg.Models, candidates),
-	}
-	e.register(c)
+	c := &SetContext[T]{}
+	c.core.init(e, o, factories, wrapSet[T], unwrapSet[T], collections.DefaultSetThreshold)
+	e.register(&c.core)
 	return c
 }
 
@@ -73,24 +51,13 @@ func NewMapContextWithVariants[K comparable, V any](e *Engine, variants []collec
 	if len(variants) == 0 {
 		panic("core: NewMapContextWithVariants needs at least one variant")
 	}
-	ids := make([]collections.VariantID, 0, len(variants))
-	factories := make(map[collections.VariantID]func(int) collections.Map[K, V], len(variants))
-	for _, v := range variants {
-		ids = append(ids, v.ID)
-		factories[v.ID] = v.New
-	}
+	ids, factories := mapFactories(variants)
 	o := resolveOptions(opts, variants[0].ID, ids, 2)
-	candidates := filterKnown(o.candidates, factories)
 	if _, ok := factories[o.defaultVar]; !ok {
 		panic("core: default variant " + string(o.defaultVar) + " not among supplied variants")
 	}
-	c := &MapContext[K, V]{
-		e:         e,
-		name:      o.name,
-		factories: factories,
-		current:   o.defaultVar,
-		agg:       newCostAgg(e.cfg.Models, candidates),
-	}
-	e.register(c)
+	c := &MapContext[K, V]{}
+	c.core.init(e, o, factories, wrapMap[K, V], unwrapMap[K, V], collections.DefaultMapThreshold)
+	e.register(&c.core)
 	return c
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/collections"
@@ -44,6 +47,20 @@ type Config struct {
 	// second) and with it the monitor overhead. Zero uses the default
 	// (3); negative disables the cooldown.
 	CooldownWindows float64
+	// AnalysisParallelism bounds the worker pool AnalyzeNow fans registered
+	// contexts over. Zero uses the default (GOMAXPROCS); 1 analyzes
+	// contexts sequentially in registration order, reproducing the
+	// single-threaded event ordering exactly (deterministic tests and
+	// traces); values above 1 let analysis latency stay flat as the
+	// context count grows, at the price of interleaved per-context event
+	// order. Negative values are clamped to 1 (reported as ConfigClamped).
+	AnalysisParallelism int
+	// AnalysisSpans, when true (and a Sink is attached), emits one
+	// obs.ContextAnalyzed span event per context per analysis pass, with
+	// the context's analyze duration. Off by default: span events are a
+	// debugging aid and would grow traces by one line per context per
+	// pass.
+	AnalysisSpans bool
 	// Name labels this engine in emitted events, distinguishing engines
 	// when several share a sink or registry (e.g. the Table 5 sweep).
 	Name string
@@ -99,6 +116,13 @@ func (c Config) withDefaults() (Config, []obs.ConfigClamped) {
 		clamps = append(clamps, obs.ConfigClamped{Field: "CooldownWindows", From: c.CooldownWindows, To: 0})
 		c.CooldownWindows = 0
 	}
+	if c.AnalysisParallelism == 0 {
+		c.AnalysisParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.AnalysisParallelism < 0 {
+		clamps = append(clamps, obs.ConfigClamped{Field: "AnalysisParallelism", From: float64(c.AnalysisParallelism), To: 1})
+		c.AnalysisParallelism = 1
+	}
 	return c, clamps
 }
 
@@ -119,6 +143,9 @@ type Transition struct {
 type analyzable interface {
 	analyze()
 	contextName() string
+	// rename disambiguates a duplicate site label; Engine.register calls it
+	// before the context is published to the analysis schedule.
+	rename(string)
 	windowStats() obs.ContextWindowStat
 }
 
@@ -133,6 +160,7 @@ type Engine struct {
 
 	mu          sync.Mutex
 	contexts    []analyzable
+	names       map[string]int // site label -> registrations seen (duplicate detection)
 	transitions []Transition
 	rounds      int // completed AnalyzeNow passes
 	closed      bool
@@ -175,6 +203,7 @@ func newEngine(cfg Config) *Engine {
 		cfg:     cfg,
 		sink:    sink,
 		metrics: cfg.Metrics,
+		names:   make(map[string]int),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -237,7 +266,11 @@ func (e *Engine) Close() {
 
 // AnalyzeNow runs one synchronous analysis pass over every registered
 // context. The background loop calls this on each tick. Passes are
-// serialized: concurrent callers queue rather than interleave.
+// serialized: concurrent callers queue rather than interleave. Within a
+// pass, contexts are fanned out over a worker pool bounded by
+// Config.AnalysisParallelism; with parallelism 1 they are analyzed
+// sequentially in registration order, so the emitted event stream is
+// byte-identical to the historical single-threaded engine.
 func (e *Engine) AnalyzeNow() {
 	e.analysisMu.Lock()
 	defer e.analysisMu.Unlock()
@@ -250,9 +283,7 @@ func (e *Engine) AnalyzeNow() {
 		e.sink.Emit(obs.RoundStarted{Engine: e.cfg.Name, Round: round, Contexts: len(ctxs)})
 	}
 	start := time.Now()
-	for _, c := range ctxs {
-		c.analyze()
-	}
+	e.analyzeAll(ctxs, round)
 	elapsed := time.Since(start)
 	e.metrics.AnalysisRounds.Add(1)
 	e.metrics.AnalysisLatency.Observe(elapsed.Seconds())
@@ -273,9 +304,61 @@ func (e *Engine) AnalyzeNow() {
 	}
 }
 
+// analyzeAll runs one analysis pass over ctxs, sequentially below two
+// workers and via a bounded work-stealing pool otherwise. Contexts are
+// claimed through an atomic cursor so the pool never allocates per context.
+func (e *Engine) analyzeAll(ctxs []analyzable, round int) {
+	workers := e.cfg.AnalysisParallelism
+	if workers > len(ctxs) {
+		workers = len(ctxs)
+	}
+	if workers <= 1 {
+		for _, c := range ctxs {
+			e.analyzeOne(c, round)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ctxs) {
+					return
+				}
+				e.analyzeOne(ctxs[i], round)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// analyzeOne analyzes a single context, wrapping it in a ContextAnalyzed
+// span when Config.AnalysisSpans asked for per-context latency telemetry.
+func (e *Engine) analyzeOne(c analyzable, round int) {
+	if e.sink == nil || !e.cfg.AnalysisSpans {
+		c.analyze()
+		return
+	}
+	start := time.Now()
+	c.analyze()
+	e.sink.Emit(obs.ContextAnalyzed{
+		Engine:     e.cfg.Name,
+		Round:      round,
+		Context:    c.contextName(),
+		DurationNs: time.Since(start).Nanoseconds(),
+	})
+}
+
 // register adds a context to the analysis schedule. Registration against a
 // closed engine is a logged no-op: the context still creates collections but
-// is never analyzed.
+// is never analyzed. Duplicate site labels are disambiguated with a "#N"
+// suffix (second registration of "foo" becomes "foo#2") so their Table 6
+// rows and trace lines never silently merge; the rename is reported through
+// a DuplicateContextName warning event.
 func (e *Engine) register(c analyzable) {
 	e.mu.Lock()
 	if e.closed {
@@ -286,10 +369,33 @@ func (e *Engine) register(c analyzable) {
 		}
 		return
 	}
+	base := c.contextName()
+	var dup *obs.DuplicateContextName
+	if n := e.names[base]; n > 0 {
+		// Probe for a free "#N" suffix: an explicit WithName("foo#2") may
+		// already occupy the obvious candidate.
+		renamed := ""
+		for {
+			n++
+			renamed = fmt.Sprintf("%s#%d", base, n)
+			if e.names[renamed] == 0 {
+				break
+			}
+		}
+		e.names[base] = n
+		e.names[renamed] = 1
+		c.rename(renamed)
+		dup = &obs.DuplicateContextName{Engine: e.cfg.Name, Name: base, Renamed: renamed}
+	} else {
+		e.names[base] = 1
+	}
 	e.contexts = append(e.contexts, c)
 	e.mu.Unlock()
 	e.metrics.ContextsRegistered.Add(1)
 	if e.sink != nil {
+		if dup != nil {
+			e.sink.Emit(*dup)
+		}
 		e.sink.Emit(obs.ContextRegistered{Engine: e.cfg.Name, Context: c.contextName()})
 	}
 }

@@ -68,6 +68,7 @@ func (b *blockingCtx) analyze() {
 	<-b.release
 }
 func (b *blockingCtx) contextName() string { return "blocking" }
+func (b *blockingCtx) rename(string)       {}
 func (b *blockingCtx) windowStats() obs.ContextWindowStat {
 	return obs.ContextWindowStat{Context: "blocking"}
 }

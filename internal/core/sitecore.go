@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"weak"
+
+	"repro/internal/collections"
+	"repro/internal/obs"
+)
+
+// This file implements the adaptive allocation context of Section 4.3 once,
+// generically, for all abstractions. A siteCore is parameterized by the
+// collection interface C (List[T], Set[T], Map[K,V], ...) and the concrete
+// monitor type M whose pointer implements C; the per-abstraction wrappers in
+// context.go contribute only the monitor-wrapping functions and the adaptive
+// transition threshold. Everything else — factories, the monitored window,
+// incremental cost aggregation, round/cooldown state, analysis — lives here
+// exactly once.
+//
+// Creation fast path. The common case at a hot allocation site is that the
+// context is NOT currently filling a window: it is either in its post-round
+// cooldown or waiting with a full window for the finished ratio. The paper's
+// design says monitoring must cost ~nothing in that state, so the fast path
+// is lock-free: a single atomic state word encodes
+//
+//	state > 0                cooldown; CAS-decrement and hand out an
+//	                         unmonitored instance
+//	state == stateOpen (0)   window open; take the mutex and monitor
+//	state == stateWindowFull window full, awaiting analysis; hand out an
+//	                         unmonitored instance without any write
+//
+// and the current variant's factory is published through an atomic pointer.
+// Only creations that actually join the monitored window take c.mu, and only
+// analyze moves the state back to stateOpen. The fast path performs no
+// allocation beyond the collection itself (asserted by
+// TestFastPathAllocsOnlyCollection and guarded by BenchmarkNewParallel).
+const (
+	stateOpen       int64 = 0  // window accepting monitored instances
+	stateWindowFull int64 = -1 // window full, waiting for the finished ratio
+)
+
+// siteRecord tracks one monitored instance: a weak pointer to the monitor
+// (so the context never keeps the collection alive — the paper's
+// WeakReference technique) and a strong pointer to its profile.
+type siteRecord[M any] struct {
+	ref    weak.Pointer[M]
+	p      *profile
+	folded bool
+}
+
+// curVariant is the atomically published "current variant" of a context:
+// the fast path loads it with a single pointer read.
+type curVariant[C any] struct {
+	id      collections.VariantID
+	factory func(int) C
+}
+
+// siteCore is the shared engine-facing core of an allocation context.
+type siteCore[C any, M any] struct {
+	e    *Engine
+	name string // final after Engine.register (duplicate disambiguation)
+
+	// Immutable after construction.
+	factories map[collections.VariantID]func(int) C
+	wrap      func(C, *profile) *M // wrap a collection in a fresh monitor
+	unwrap    func(*M) C           // view the monitor as the abstraction
+	threshold int64                // adaptive-variant transition threshold
+
+	// state is the lock-free creation gate (see the file comment).
+	state atomic.Int64
+	// cur is the variant future instantiations use, swapped at window close.
+	cur atomic.Pointer[curVariant[C]]
+
+	mu     sync.Mutex // guards window, agg, round
+	window []*siteRecord[M]
+	agg    *costAgg
+	round  int
+}
+
+// init populates a zero siteCore in place (it contains atomics and a mutex,
+// so it must never be copied after first use).
+func (c *siteCore[C, M]) init(e *Engine, o ctxOptions, factories map[collections.VariantID]func(int) C,
+	wrap func(C, *profile) *M, unwrap func(*M) C, threshold int64) {
+	c.e = e
+	c.name = o.name
+	c.factories = factories
+	c.wrap = wrap
+	c.unwrap = unwrap
+	c.threshold = threshold
+	c.agg = newCostAgg(e.cfg.Models, filterKnown(o.candidates, factories))
+	c.cur.Store(&curVariant[C]{id: o.defaultVar, factory: factories[o.defaultVar]})
+}
+
+// newCollection returns a collection of the context's current variant. The
+// first WindowSize instances of each monitoring round are wrapped in
+// monitors; cooldown and window-full creations take the lock-free fast path.
+func (c *siteCore[C, M]) newCollection() C {
+	c.e.metrics.InstancesCreated.Add(1)
+	for {
+		s := c.state.Load()
+		if s == stateWindowFull {
+			return c.cur.Load().factory(0)
+		}
+		if s > 0 {
+			if c.state.CompareAndSwap(s, s-1) {
+				return c.cur.Load().factory(0)
+			}
+			continue // lost a cooldown slot to a concurrent creator; retry
+		}
+		return c.newMonitored()
+	}
+}
+
+// newMonitored is the slow path: the window looked open, so the creation may
+// join it. Everything is re-checked under the lock — a concurrent creator
+// may have filled the window, or a concurrent analyze may have entered a
+// cooldown, between the fast-path load and here.
+func (c *siteCore[C, M]) newMonitored() C {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.state.Load(); s != stateOpen {
+		if s > 0 {
+			c.state.Add(-1)
+		}
+		return c.cur.Load().factory(0)
+	}
+	inner := c.cur.Load().factory(0)
+	if len(c.window) < c.e.cfg.WindowSize {
+		c.e.metrics.InstancesMonitored.Add(1)
+		p := &profile{}
+		m := c.wrap(inner, p)
+		c.window = append(c.window, &siteRecord[M]{ref: weak.Make(m), p: p})
+		if len(c.window) == c.e.cfg.WindowSize {
+			c.state.Store(stateWindowFull)
+		}
+		return c.unwrap(m)
+	}
+	// Defensive: state said open but the window is full; republish the gate.
+	c.state.Store(stateWindowFull)
+	return inner
+}
+
+// currentVariant returns the variant future instantiations will use.
+func (c *siteCore[C, M]) currentVariant() collections.VariantID {
+	return c.cur.Load().id
+}
+
+// completedRounds returns the number of completed analysis rounds.
+func (c *siteCore[C, M]) completedRounds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+func (c *siteCore[C, M]) contextName() string { return c.name }
+
+// rename is called by Engine.register (before the context is published to
+// the analysis schedule) to disambiguate duplicate site labels.
+func (c *siteCore[C, M]) rename(name string) { c.name = name }
+
+// cooldownRemaining projects the state word onto the legacy cooldown count.
+func (c *siteCore[C, M]) cooldownRemaining() int {
+	if s := c.state.Load(); s > 0 {
+		return int(s)
+	}
+	return 0
+}
+
+func (c *siteCore[C, M]) windowStats() obs.ContextWindowStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.ContextWindowStat{
+		Context: c.name, Variant: string(c.currentVariant()), Round: c.round,
+		WindowFill: len(c.window), Folded: c.agg.folded, Cooldown: c.cooldownRemaining(),
+	}
+}
+
+// analyze folds finished instances and, when the window is complete and the
+// finished ratio reached, applies the selection rule (Sections 3.1, 4.3).
+func (c *siteCore[C, M]) analyze() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reclaimed := 0
+	for _, r := range c.window {
+		if !r.folded && r.ref.Value() == nil {
+			c.agg.fold(r.p.snapshot())
+			r.folded = true
+			reclaimed++
+		}
+	}
+	if reclaimed > 0 {
+		c.e.metrics.WeakReclaims.Add(int64(reclaimed))
+	}
+	if len(c.window) < c.e.cfg.WindowSize {
+		return
+	}
+	if c.agg.folded < neededFolds(c.e.cfg) {
+		return
+	}
+	// Decision time: use the whole set of metrics, including instances
+	// still alive (the paper folds all collected metrics; the finished
+	// ratio only gates when the analysis may run).
+	finished := c.agg.folded
+	for _, r := range c.window {
+		if !r.folded {
+			c.agg.fold(r.p.snapshot())
+			r.folded = true
+		}
+	}
+	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
+	cur := c.cur.Load()
+	next := c.e.closeWindow(c.name, c.agg, cur.id, c.round, c.threshold, finished, cooldown)
+	if next != cur.id {
+		c.cur.Store(&curVariant[C]{id: next, factory: c.factories[next]})
+	}
+	c.window = c.window[:0]
+	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
+	c.round++
+	c.state.Store(int64(cooldown)) // 0 reopens the window immediately
+}
+
+// neededFolds converts the finished ratio into an instance count.
+func neededFolds(cfg Config) int {
+	return int(math.Ceil(cfg.FinishedRatio * float64(cfg.WindowSize)))
+}
+
+// filterKnown drops candidate IDs that have no factory (e.g. a map variant
+// ID passed to a list context).
+func filterKnown[F any](ids []collections.VariantID, factories map[collections.VariantID]F) []collections.VariantID {
+	out := make([]collections.VariantID, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := factories[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -41,12 +41,13 @@ type Fig5Panel struct {
 // newFig5Engine builds the manual engine used for one single-phase run.
 func newFig5Engine(rule core.Rule, name string, o Obs) *core.Engine {
 	return core.NewEngineManual(core.Config{
-		WindowSize:    100,
-		FinishedRatio: 0.6,
-		Rule:          rule,
-		Name:          name,
-		Sink:          o.Sink,
-		Metrics:       o.Metrics,
+		WindowSize:          100,
+		FinishedRatio:       0.6,
+		Rule:                rule,
+		AnalysisParallelism: o.Parallelism,
+		Name:                name,
+		Sink:                o.Sink,
+		Metrics:             o.Metrics,
 	})
 }
 

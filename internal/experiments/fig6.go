@@ -44,12 +44,13 @@ func RunFig6(sc Scale) Fig6Result {
 // RunFig6Obs is RunFig6 with observability wiring on the engine.
 func RunFig6Obs(sc Scale, o Obs) Fig6Result {
 	e := core.NewEngineManual(core.Config{
-		WindowSize:    100,
-		FinishedRatio: 0.6,
-		Rule:          core.Rtime(),
-		Name:          "fig6",
-		Sink:          o.Sink,
-		Metrics:       o.Metrics,
+		WindowSize:          100,
+		FinishedRatio:       0.6,
+		Rule:                core.Rtime(),
+		AnalysisParallelism: o.Parallelism,
+		Name:                "fig6",
+		Sink:                o.Sink,
+		Metrics:             o.Metrics,
 	})
 	defer e.Close()
 	ctx := core.NewListContext[int](e, core.WithName("fig6"))

@@ -16,10 +16,14 @@ import (
 // Obs bundles the optional observability wiring of cmd/experiments: Sink
 // receives the engine events of measured runs (the -trace flag), Metrics
 // aggregates counters and the analysis-latency histogram across experiments
-// (the -metrics flag). The zero value disables both.
+// (the -metrics flag), and Parallelism bounds every experiment engine's
+// analysis worker pool (the -parallel flag; 0 = engine default GOMAXPROCS,
+// 1 = the historical sequential ordering). The zero value disables the
+// sinks and leaves parallelism at the engine default.
 type Obs struct {
-	Sink    obs.Sink
-	Metrics *obs.Registry
+	Sink        obs.Sink
+	Metrics     *obs.Registry
+	Parallelism int
 }
 
 // PrintTable2 renders the collection-variant inventory (paper Table 2).
@@ -58,12 +62,13 @@ func RunTable5(sc Scale) []apps.Row {
 // measured run's engine.
 func RunTable5Obs(sc Scale, o Obs) []apps.Row {
 	cfg := apps.RunConfig{
-		Scale:    sc.AppScale,
-		Warmup:   sc.AppWarmup,
-		Measured: sc.AppMeasured,
-		Seed:     1,
-		Sink:     o.Sink,
-		Metrics:  o.Metrics,
+		Scale:       sc.AppScale,
+		Warmup:      sc.AppWarmup,
+		Measured:    sc.AppMeasured,
+		Seed:        1,
+		Sink:        o.Sink,
+		Metrics:     o.Metrics,
+		Parallelism: o.Parallelism,
 	}
 	return apps.MeasureAll(cfg)
 }
@@ -215,9 +220,10 @@ func RunOverheadObs(sc Scale, o Obs) []OverheadRow {
 			apps.Run(app, apps.ModeFullAdap, core.ImpossibleRule(), 1)
 		}
 		ao := apps.Obs{
-			Label:   fmt.Sprintf("%s/%s/%s", app.Name(), apps.ModeFullAdap, core.ImpossibleRule().Name),
-			Sink:    o.Sink,
-			Metrics: o.Metrics,
+			Label:       fmt.Sprintf("%s/%s/%s", app.Name(), apps.ModeFullAdap, core.ImpossibleRule().Name),
+			Sink:        o.Sink,
+			Metrics:     o.Metrics,
+			Parallelism: o.Parallelism,
 		}
 		for i := 0; i < sc.AppMeasured; i++ {
 			orig := apps.Run(app, apps.ModeOriginal, core.Rtime(), 1)

@@ -94,8 +94,14 @@ func decodeKind(kind Kind, raw json.RawMessage) (Event, error) {
 	case KindContextRegistered:
 		var e ContextRegistered
 		return e, unmarshal(&e)
+	case KindDuplicateContextName:
+		var e DuplicateContextName
+		return e, unmarshal(&e)
 	case KindRoundStarted:
 		var e RoundStarted
+		return e, unmarshal(&e)
+	case KindContextAnalyzed:
+		var e ContextAnalyzed
 		return e, unmarshal(&e)
 	case KindRoundCompleted:
 		var e RoundCompleted

@@ -15,6 +15,27 @@
 //
 // The package is dependency-free: it imports only the standard library and
 // is imported by internal/core, internal/apps and the command harnesses.
+//
+// # Round numbering
+//
+// Two independent sequences are both called "round"; every event documents
+// which one it carries, and TestRoundNumberingConventions (internal/core)
+// pins the relationships:
+//
+//   - Engine analysis passes are 0-based: the first AnalyzeNow pass emits
+//     RoundStarted/RoundCompleted/ContextAnalyzed with Round 0.
+//   - Context monitoring rounds are 1-based completed-round ordinals:
+//     when a context's Nth window closes, WindowClosed, CooldownEntered and
+//     the ContextWindowStat snapshots attached to later RoundCompleted
+//     events all report Round == N. ContextWindowStat.Round is therefore
+//     simultaneously "rounds completed so far" and "the 1-based number of
+//     the last completed round" — the same integer.
+//   - Transition.Round is the single, deliberate exception: it reports the
+//     0-based index of the monitoring round that was still in progress when
+//     the switch decision fired (== WindowClosed.Round-1 for the window
+//     that closed). It is kept 0-based because the legacy trace line
+//     "transition at %s (round %d)" is byte-compatibility-pinned, and
+//     existing JSONL consumers rely on the serialized value.
 package obs
 
 import "fmt"
@@ -24,14 +45,16 @@ type Kind string
 
 // The event taxonomy. One Kind per concrete event struct.
 const (
-	KindContextRegistered Kind = "context_registered"
-	KindRoundStarted      Kind = "round_started"
-	KindRoundCompleted    Kind = "round_completed"
-	KindWindowClosed      Kind = "window_closed"
-	KindTransition        Kind = "transition"
-	KindCooldownEntered   Kind = "cooldown_entered"
-	KindConfigClamped     Kind = "config_clamped"
-	KindEngineClosed      Kind = "engine_closed"
+	KindContextRegistered    Kind = "context_registered"
+	KindDuplicateContextName Kind = "duplicate_context_name"
+	KindRoundStarted         Kind = "round_started"
+	KindRoundCompleted       Kind = "round_completed"
+	KindContextAnalyzed      Kind = "context_analyzed"
+	KindWindowClosed         Kind = "window_closed"
+	KindTransition           Kind = "transition"
+	KindCooldownEntered      Kind = "cooldown_entered"
+	KindConfigClamped        Kind = "config_clamped"
+	KindEngineClosed         Kind = "engine_closed"
 )
 
 // Event is one structured framework event. Concrete types are plain value
@@ -80,18 +103,40 @@ func (e ContextRegistered) Logline() (string, []any) {
 	return "context registered: %s", []any{e.Context}
 }
 
+// DuplicateContextName warns that a context registered under a site label an
+// earlier context already claimed; the engine disambiguated the newcomer
+// with a "#N" suffix so its Table 6 rows and trace lines never silently
+// merge with the first registrant's.
+type DuplicateContextName struct {
+	Engine string `json:"engine,omitempty"`
+	// Name is the clashing label; Renamed is the label actually assigned.
+	Name    string `json:"name"`
+	Renamed string `json:"renamed"`
+}
+
+func (DuplicateContextName) EventKind() Kind      { return KindDuplicateContextName }
+func (e DuplicateContextName) EngineName() string { return e.Engine }
+func (e DuplicateContextName) Logline() (string, []any) {
+	return "duplicate context name %q renamed to %q", []any{e.Name, e.Renamed}
+}
+
 // ContextWindowStat is the per-context monitoring state snapshot attached to
-// RoundCompleted events.
+// RoundCompleted events. Round follows the 1-based completed-round
+// convention (see "Round numbering" in the package docs): it equals
+// WindowClosed.Round of the context's most recently closed window, or 0
+// while the first window is still open.
 type ContextWindowStat struct {
 	Context    string `json:"context"`
 	Variant    string `json:"variant"`
-	Round      int    `json:"round"`       // completed rounds at this context
+	Round      int    `json:"round"`       // completed rounds == 1-based last closed round
 	WindowFill int    `json:"window_fill"` // monitored instances in the open window
 	Folded     int    `json:"folded"`      // instances folded into the aggregate
 	Cooldown   int    `json:"cooldown"`    // unmonitored creations remaining
 }
 
-// RoundStarted reports the beginning of one engine analysis pass.
+// RoundStarted reports the beginning of one engine analysis pass. Round is
+// the 0-based pass index (a different sequence from the per-context
+// monitoring rounds — see "Round numbering" in the package docs).
 type RoundStarted struct {
 	Engine   string `json:"engine,omitempty"`
 	Round    int    `json:"round"`
@@ -119,6 +164,26 @@ func (e RoundCompleted) EngineName() string { return e.Engine }
 func (e RoundCompleted) Logline() (string, []any) {
 	return "analysis round %d completed in %dns (%d contexts)",
 		[]any{e.Round, e.DurationNs, len(e.Contexts)}
+}
+
+// ContextAnalyzed is a per-context analysis span: the duration one context's
+// analyze step took inside engine pass Round (0-based, matching
+// RoundStarted/RoundCompleted). Emitted only for engines configured with
+// AnalysisSpans — it adds one event per context per pass, so it is opt-in
+// debugging telemetry rather than part of the default trace. With
+// AnalysisParallelism > 1, spans from one pass arrive in completion order,
+// not registration order.
+type ContextAnalyzed struct {
+	Engine     string `json:"engine,omitempty"`
+	Round      int    `json:"round"`
+	Context    string `json:"context"`
+	DurationNs int64  `json:"duration_ns"`
+}
+
+func (ContextAnalyzed) EventKind() Kind      { return KindContextAnalyzed }
+func (e ContextAnalyzed) EngineName() string { return e.Engine }
+func (e ContextAnalyzed) Logline() (string, []any) {
+	return "context %s analyzed in %dns (pass %d)", []any{e.Context, e.DurationNs, e.Round}
 }
 
 // WindowClosed reports one allocation context completing a monitoring round:

@@ -15,7 +15,9 @@ func allEvents() []Event {
 	return []Event{
 		ContextRegistered{Engine: "e1", Context: "site:a"},
 		ContextRegistered{Engine: "e1", Context: "site:late", Dropped: true},
+		DuplicateContextName{Engine: "e1", Name: "site:a", Renamed: "site:a#2"},
 		RoundStarted{Engine: "e1", Round: 3, Contexts: 2},
+		ContextAnalyzed{Engine: "e1", Round: 3, Context: "site:a", DurationNs: 1800},
 		RoundCompleted{Engine: "e1", Round: 3, DurationNs: 41500, Contexts: []ContextWindowStat{
 			{Context: "site:a", Variant: "list/array", Round: 1, WindowFill: 37, Folded: 12, Cooldown: 0},
 			{Context: "site:b", Variant: "map/hash", Round: 0, WindowFill: 100, Folded: 61, Cooldown: 300},
@@ -32,7 +34,8 @@ func allEvents() []Event {
 
 func TestEventTaxonomyCovered(t *testing.T) {
 	kinds := []Kind{
-		KindContextRegistered, KindRoundStarted, KindRoundCompleted,
+		KindContextRegistered, KindDuplicateContextName,
+		KindRoundStarted, KindRoundCompleted, KindContextAnalyzed,
 		KindWindowClosed, KindTransition, KindCooldownEntered,
 		KindConfigClamped, KindEngineClosed,
 	}
