@@ -66,8 +66,9 @@ func main() {
 	// Observability wiring: engines of the engine-driven experiments share
 	// one metrics registry, and -trace exports their event streams as
 	// JSONL (the Table 6 rows are exactly reconstructible from that file
-	// via experiments.Table6FromEvents / obs.ReadAll).
-	o := experiments.Obs{Metrics: obs.NewRegistry(), Parallelism: *parallel}
+	// via experiments.Table6FromEvents / obs.ReadAll). A -models file
+	// replaces the analytic defaults on every experiment engine.
+	o := experiments.Obs{Metrics: obs.NewRegistry(), Parallelism: *parallel, Models: models}
 	var traceSink *obs.JSONLSink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -1,0 +1,217 @@
+// Custom variant: extending the CollectionSwitch catalog from outside the
+// framework.
+//
+// The paper's framework is "open for extension": new collection
+// implementations become selectable by registering them with the variant
+// catalog — no framework code changes. This example registers a bit-vector
+// set (the java.util.BitSet analogue, a variant the paper's inventory does
+// not ship) together with an analytic cost model, and shows the whole
+// pipeline picking it up:
+//
+//   - the allocation context lists it as a candidate,
+//   - perfmodel.Default fits selection curves from its analytic model,
+//   - a contains-heavy workload makes the engine switch to it, and
+//   - Engine.SetModels hot-swaps the cost models at runtime without
+//     restarting the engine (the models_swapped event below).
+//
+// Run with: go run ./examples/customvariant
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/collections"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
+)
+
+// BitSetID is the catalog identity of the custom variant.
+const BitSetID = collections.VariantID("set/bitset")
+
+// bitSet is a dense bit-vector set of ints. Membership is a single word
+// load — far cheaper than any hashing variant — at the price of memory
+// proportional to the largest stored value rather than the element count.
+// Negative values fall back to a side map so the Set[int] contract holds
+// for the full int domain.
+type bitSet struct {
+	words []uint64
+	neg   map[int]struct{}
+	n     int
+}
+
+// NewBitSet is the factory registered with the catalog.
+func NewBitSet(capHint int) collections.Set[int] {
+	words := 0
+	if capHint > 0 {
+		words = capHint/64 + 1
+	}
+	return &bitSet{words: make([]uint64, words)}
+}
+
+func (b *bitSet) Add(v int) bool {
+	if v < 0 {
+		if b.neg == nil {
+			b.neg = make(map[int]struct{})
+		}
+		if _, ok := b.neg[v]; ok {
+			return false
+		}
+		b.neg[v] = struct{}{}
+		b.n++
+		return true
+	}
+	w, bit := v/64, uint64(1)<<(v%64)
+	for w >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if b.words[w]&bit != 0 {
+		return false
+	}
+	b.words[w] |= bit
+	b.n++
+	return true
+}
+
+func (b *bitSet) Remove(v int) bool {
+	if v < 0 {
+		if _, ok := b.neg[v]; !ok {
+			return false
+		}
+		delete(b.neg, v)
+		b.n--
+		return true
+	}
+	w, bit := v/64, uint64(1)<<(v%64)
+	if w >= len(b.words) || b.words[w]&bit == 0 {
+		return false
+	}
+	b.words[w] &^= bit
+	b.n--
+	return true
+}
+
+func (b *bitSet) Contains(v int) bool {
+	if v < 0 {
+		_, ok := b.neg[v]
+		return ok
+	}
+	w := v / 64
+	return w < len(b.words) && b.words[w]&(1<<(v%64)) != 0
+}
+
+func (b *bitSet) Len() int { return b.n }
+
+func (b *bitSet) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.neg = nil
+	b.n = 0
+}
+
+func (b *bitSet) ForEach(fn func(int) bool) {
+	for w, word := range b.words {
+		for word != 0 {
+			bit := word & -word
+			v := w*64 + trailingZeros(word)
+			if !fn(v) {
+				return
+			}
+			word &^= bit
+		}
+	}
+	for v := range b.neg {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// trailingZeros avoids importing math/bits for one call site.
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// FootprintBytes implements collections.Sizer so monitors (and the
+// benchmark driver) can charge the footprint dimension.
+func (b *bitSet) FootprintBytes() int {
+	return 48 + 8*len(b.words) + 48*len(b.neg)
+}
+
+// init registers the variant before any engine is built, so it is present
+// when the framework fits its default models. The analytic model encodes
+// the variant's signature trade-off: near-constant contains, linear
+// populate, and a footprint governed by the value domain (approximated
+// here for the uniform [0, 2s) workloads of Table 3).
+func init() {
+	lin := func(b, m float64) collections.CostFn {
+		return func(s float64) float64 { return b + m*s }
+	}
+	collections.RegisterSetVariant[int](
+		collections.VariantInfo{
+			ID:          BitSetID,
+			Abstraction: collections.SetAbstraction,
+			Analogue:    "java.util.BitSet",
+			Description: "dense bit-vector set; O(1) membership, memory grows with the value domain",
+		},
+		NewBitSet,
+		collections.WithAnalytic(collections.AnalyticModel{
+			Time: map[string]collections.CostFn{
+				collections.OpNamePopulate: lin(30, 2),
+				collections.OpNameContains: lin(2, 0), // one word load
+				collections.OpNameIterate:  lin(10, 1.5),
+				collections.OpNameMiddle:   lin(8, 0.5),
+			},
+			AllocPopulate: lin(64, 0.5), // 2s bits ≈ s/4 bytes, plus growth churn
+			AllocMiddle:   func(float64) float64 { return 0 },
+			Footprint:     lin(56, 0.25),
+		}),
+	)
+}
+
+func main() {
+	// Route framework events to stdout so the pipeline is visible.
+	sink := obs.NewLogfSink(func(format string, args ...any) {
+		fmt.Printf("  [obs] "+format+"\n", args...)
+	})
+	engine := core.NewEngine(core.Config{Rule: core.Rtime(), Name: "customvariant", Sink: sink})
+	defer engine.Close()
+	setCtx := core.NewSetContext[int](engine, core.WithName("customvariant:set"))
+
+	fmt.Println("initial variant:", setCtx.CurrentVariant())
+
+	// A contains-heavy workload: the analytic models price bitSet's
+	// membership test below every hashing variant, so Rtime switches.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 150; i++ {
+			s := setCtx.NewSet()
+			for j := 0; j < 400; j++ {
+				s.Add(j * 2)
+			}
+			hits := 0
+			for j := 0; j < 800; j++ {
+				if s.Contains(j) {
+					hits++
+				}
+			}
+			_ = hits
+		}
+		runtime.GC()
+		engine.AnalyzeNow()
+		fmt.Printf("after round %d: variant = %s\n", round+1, setCtx.CurrentVariant())
+	}
+
+	// Runtime model hot-reload: refit the models (in production this would
+	// be perfmodel.LoadFile of a machine-specific cmd/perfmodel build) and
+	// swap them into the running engine. SetModels(nil) would restore the
+	// analytic defaults.
+	engine.SetModels(perfmodel.DefaultDegree(3))
+	fmt.Println("models hot-swapped; variant still:", setCtx.CurrentVariant())
+}

@@ -207,6 +207,8 @@ type Obs struct {
 	// sequentially in registration order, reproducing the historical
 	// single-threaded event stream exactly.
 	Parallelism int
+	// Models overrides the engine's cost models (nil = analytic defaults).
+	Models *perfmodel.Models
 }
 
 // Run executes app once in the given mode and returns its measurements.
@@ -229,6 +231,7 @@ func RunObs(app App, mode Mode, rule core.Rule, seed int64, o Obs) Result {
 			WindowSize:          100,
 			FinishedRatio:       0.6,
 			Rule:                rule,
+			Models:              o.Models,
 			AnalysisParallelism: o.Parallelism,
 			Name:                o.Label,
 			Sink:                obs.Multi(col, o.Sink),

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/perfmodel"
 	"repro/internal/stats"
 )
 
@@ -69,6 +70,9 @@ type RunConfig struct {
 	// (Config.AnalysisParallelism). 0 uses the engine default (GOMAXPROCS);
 	// 1 reproduces the historical sequential event ordering.
 	Parallelism int
+	// Models overrides the cost models of every run engine (nil = the
+	// analytic defaults).
+	Models *perfmodel.Models
 }
 
 // DefaultRunConfig returns the paper's run counts at full scale.
@@ -93,6 +97,7 @@ func measureCell(app App, mode Mode, rule core.Rule, cfg RunConfig) Cell {
 		Sink:        cfg.Sink,
 		Metrics:     cfg.Metrics,
 		Parallelism: cfg.Parallelism,
+		Models:      cfg.Models,
 	}
 	for i := 0; i < cfg.Measured; i++ {
 		res := RunObs(app, mode, rule, cfg.Seed, o)

@@ -1,0 +1,229 @@
+package collections
+
+import (
+	"testing"
+)
+
+// The catalog is process-global state; tests that register variants clean
+// up with resetCatalog. They do not run in parallel with each other for
+// that reason.
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", want)
+		}
+	}()
+	fn()
+}
+
+// TestCatalogCoversVariantInventory pins that every Table 2 variant and
+// every extension variant has a catalog entry, in inventory order, with a
+// working factory and a benchmark adapter.
+func TestCatalogCoversVariantInventory(t *testing.T) {
+	entries := Entries()
+	want := append(AllVariantInfos(), ExtensionVariantInfos()...)
+	if len(entries) != len(want) {
+		t.Fatalf("catalog has %d entries, inventory has %d", len(entries), len(want))
+	}
+	for i, info := range want {
+		e := entries[i]
+		if e.Info.ID != info.ID {
+			t.Fatalf("entry %d = %s, inventory says %s", i, e.Info.ID, info.ID)
+		}
+		if !e.Benchmarkable() {
+			t.Errorf("%s has no benchmark adapter", e.Info.ID)
+		}
+	}
+}
+
+// TestCatalogViewsPartitionByAbstraction checks the typed views agree with
+// the entry metadata.
+func TestCatalogViewsPartitionByAbstraction(t *testing.T) {
+	for _, v := range ListVariants[string]() {
+		if AbstractionOf(v.ID) != ListAbstraction {
+			t.Errorf("%s in list view but abstraction %s", v.ID, AbstractionOf(v.ID))
+		}
+		l := v.New(4)
+		l.Add("x")
+		if !l.Contains("x") {
+			t.Errorf("%s list factory broken", v.ID)
+		}
+	}
+	for _, v := range SetVariants[int]() {
+		if AbstractionOf(v.ID) != SetAbstraction {
+			t.Errorf("%s in set view but abstraction %s", v.ID, AbstractionOf(v.ID))
+		}
+	}
+	for _, v := range MapVariants[string, int]() {
+		if AbstractionOf(v.ID) != MapAbstraction {
+			t.Errorf("%s in map view but abstraction %s", v.ID, AbstractionOf(v.ID))
+		}
+		m := v.New(4)
+		m.Put("k", 7)
+		if got, ok := m.Get("k"); !ok || got != 7 {
+			t.Errorf("%s map factory broken", v.ID)
+		}
+	}
+}
+
+// TestRegisterCustomVariantFlowsThroughViews registers a custom list variant
+// and checks it reaches the candidate views, the entry lookups, and the
+// benchmark targets, then disappears again on reset.
+func TestRegisterCustomVariantFlowsThroughViews(t *testing.T) {
+	defer resetCatalog()
+	const id = VariantID("list/test-custom")
+	RegisterListVariant[int](
+		VariantInfo{ID: id, Analogue: "test", Description: "test variant"},
+		func(capHint int) List[int] { return NewArrayList[int]() },
+	)
+
+	e, ok := EntryOf(id)
+	if !ok {
+		t.Fatal("EntryOf misses the registered variant")
+	}
+	if e.Group != GroupCustom || !e.DefaultCandidate || e.Info.Abstraction != ListAbstraction {
+		t.Fatalf("entry = %+v, want custom default list candidate", e)
+	}
+	found := false
+	for _, v := range ListVariants[int]() {
+		if v.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("custom variant missing from ListVariants[int]")
+	}
+	// Registered for int elements, so a string view cannot instantiate it.
+	for _, v := range ListVariants[string]() {
+		if v.ID == id {
+			t.Fatal("custom int variant leaked into ListVariants[string]")
+		}
+	}
+	if _, ok := BenchTargetFor(id); !ok {
+		t.Fatal("custom variant has no derived benchmark adapter")
+	}
+	l := NewListOf[int](id, 8)
+	l.Add(1)
+	if !l.Contains(1) {
+		t.Fatal("NewListOf cannot build the custom variant")
+	}
+
+	resetCatalog()
+	if _, ok := EntryOf(id); ok {
+		t.Fatal("resetCatalog left the custom variant behind")
+	}
+}
+
+// TestRegisterOptions pins AsOptIn, WithAdaptiveThreshold and
+// WithBenchAdapter behavior.
+func TestRegisterOptions(t *testing.T) {
+	defer resetCatalog()
+	const id = VariantID("set/test-optin")
+	benched := false
+	RegisterSetVariant[int](
+		VariantInfo{ID: id},
+		func(capHint int) Set[int] { return NewHashSet[int]() },
+		AsOptIn(),
+		WithAdaptiveThreshold(33),
+		WithBenchAdapter(func(keys []int) BenchHandle {
+			benched = true
+			return SetBenchAdapter(func(capHint int) Set[int] { return NewHashSet[int]() })(keys)
+		}),
+	)
+	for _, v := range SetVariants[int]() {
+		if v.ID == id {
+			t.Fatal("opt-in variant appeared in the default candidate pool")
+		}
+	}
+	if !IsAdaptive(id) || AdaptiveThresholdOf(id) != 33 {
+		t.Fatalf("adaptive threshold = %d, want 33", AdaptiveThresholdOf(id))
+	}
+	target, ok := BenchTargetFor(id)
+	if !ok {
+		t.Fatal("opt-in variant not reachable via BenchTargetFor")
+	}
+	h := target.Adapter([]int{1, 2, 3})
+	h.Contains(2)
+	if !benched {
+		t.Fatal("custom bench adapter not used")
+	}
+	// Opt-in variants stay out of BenchTargets.
+	for _, bt := range BenchTargets(SetAbstraction) {
+		if bt.ID == id {
+			t.Fatal("opt-in variant in BenchTargets")
+		}
+	}
+}
+
+// TestRegisterRejectsBadEntries pins the registration validation panics.
+func TestRegisterRejectsBadEntries(t *testing.T) {
+	defer resetCatalog()
+	mustPanic(t, "empty ID", func() {
+		RegisterListVariant[int](VariantInfo{}, func(int) List[int] { return NewArrayList[int]() })
+	})
+	mustPanic(t, "nil factory", func() {
+		RegisterListVariant[int](VariantInfo{ID: "list/test-nil"}, nil)
+	})
+	mustPanic(t, "duplicate ID", func() {
+		RegisterListVariant[int](VariantInfo{ID: ArrayListID}, func(int) List[int] { return NewArrayList[int]() })
+	})
+}
+
+// TestBenchTargetsMatchCandidates pins that the benchmark targets of each
+// abstraction are exactly its benchmarkable default candidates in catalog
+// order — the set cmd/perfmodel measures and perfmodel.Default models.
+func TestBenchTargetsMatchCandidates(t *testing.T) {
+	for _, a := range []Abstraction{ListAbstraction, SetAbstraction, MapAbstraction} {
+		var want []VariantID
+		for _, e := range Entries() {
+			if e.Info.Abstraction == a && e.DefaultCandidate && e.Benchmarkable() {
+				want = append(want, e.Info.ID)
+			}
+		}
+		targets := BenchTargets(a)
+		if len(targets) != len(want) {
+			t.Fatalf("%s: %d targets, want %d", a, len(targets), len(want))
+		}
+		for i, bt := range targets {
+			if bt.ID != want[i] {
+				t.Fatalf("%s target %d = %s, want %s", a, i, bt.ID, want[i])
+			}
+			h := bt.Adapter([]int{5, 6, 7})
+			h.Contains(5)
+			h.Iterate()
+			h.Middle()
+		}
+	}
+}
+
+// TestAnalyticModelsAttachedToCatalog checks every default candidate ships
+// an analytic model with full time coverage — perfmodel.Default depends on
+// this to price the whole candidate pool.
+func TestAnalyticModelsAttachedToCatalog(t *testing.T) {
+	for _, e := range Entries() {
+		if !e.DefaultCandidate {
+			continue
+		}
+		if e.Analytic == nil {
+			t.Errorf("%s has no analytic model", e.Info.ID)
+			continue
+		}
+		for _, op := range OpNames() {
+			fn, ok := e.Analytic.Time[op]
+			if !ok {
+				t.Errorf("%s analytic model misses op %s", e.Info.ID, op)
+				continue
+			}
+			if c := fn(100); c <= 0 {
+				t.Errorf("%s %s cost at size 100 = %g, want > 0", e.Info.ID, op, c)
+			}
+		}
+	}
+}
+
+// TestAbstractionOfPanicsOnUnknown preserves the pre-catalog contract.
+func TestAbstractionOfPanicsOnUnknown(t *testing.T) {
+	mustPanic(t, "unknown variant", func() { AbstractionOf("no/such") })
+}

@@ -8,7 +8,8 @@ import "cmp"
 // worse) mutation for ordered iteration and range queries. They satisfy the
 // same Set/Map abstractions — a CollectionSwitch context can adopt them as
 // opt-in candidates (core.NewSetContextWithVariants) — plus the ordered
-// extensions below.
+// extensions below. In the catalog they carry Group GroupSorted /
+// GroupConcurrent with DefaultCandidate false.
 
 // SortedSet is a Set whose iteration is ascending and which supports
 // ordered queries.
@@ -55,7 +56,8 @@ const (
 
 // ExtensionVariantInfos returns the inventory of the future-work variants,
 // in the same format as AllVariantInfos (which intentionally stays limited
-// to the paper's Table 2).
+// to the paper's Table 2). The catalog's extension entries are built from
+// this table.
 func ExtensionVariantInfos() []VariantInfo {
 	return []VariantInfo{
 		{AVLTreeSetID, SetAbstraction, "JDK TreeSet", "AVL-balanced search tree, ordered iteration"},
@@ -70,39 +72,90 @@ func ExtensionVariantInfos() []VariantInfo {
 	}
 }
 
+// builtinSortedSetFactory instantiates a builtin sorted set variant, nil for
+// other IDs.
+func builtinSortedSetFactory[T cmp.Ordered](id VariantID) func(int) Set[T] {
+	switch id {
+	case AVLTreeSetID:
+		return func(int) Set[T] { return NewAVLTreeSet[T]() }
+	case SkipListSetID:
+		return func(int) Set[T] { return NewSkipListSet[T]() }
+	case SortedArraySetID:
+		return func(c int) Set[T] { return NewSortedArraySetCap[T](c) }
+	}
+	return nil
+}
+
+// builtinSortedMapFactory instantiates a builtin sorted map variant, nil for
+// other IDs.
+func builtinSortedMapFactory[K cmp.Ordered, V any](id VariantID) func(int) Map[K, V] {
+	switch id {
+	case AVLTreeMapID:
+		return func(int) Map[K, V] { return NewAVLTreeMap[K, V]() }
+	case SkipListMapID:
+		return func(int) Map[K, V] { return NewSkipListMap[K, V]() }
+	case SortedArrayMapID:
+		return func(c int) Map[K, V] { return NewSortedArrayMapCap[K, V](c) }
+	}
+	return nil
+}
+
 // SortedSetVariants returns factories for the sorted set variants. They are
 // opt-in candidates: pass them to core.NewSetContextWithVariants alongside
 // (or instead of) the default SetVariants.
 func SortedSetVariants[T cmp.Ordered]() []SetVariant[T] {
-	return []SetVariant[T]{
-		{AVLTreeSetID, func(int) Set[T] { return NewAVLTreeSet[T]() }},
-		{SkipListSetID, func(int) Set[T] { return NewSkipListSet[T]() }},
-		{SortedArraySetID, func(c int) Set[T] { return NewSortedArraySetCap[T](c) }},
+	var out []SetVariant[T]
+	for _, e := range snapshot().entries {
+		if e.Group != GroupSorted || e.Info.Abstraction != SetAbstraction {
+			continue
+		}
+		if f := builtinSortedSetFactory[T](e.Info.ID); f != nil {
+			out = append(out, SetVariant[T]{e.Info.ID, f})
+		}
 	}
+	return out
 }
 
 // SortedMapVariants returns factories for the sorted map variants.
 func SortedMapVariants[K cmp.Ordered, V any]() []MapVariant[K, V] {
-	return []MapVariant[K, V]{
-		{AVLTreeMapID, func(int) Map[K, V] { return NewAVLTreeMap[K, V]() }},
-		{SkipListMapID, func(int) Map[K, V] { return NewSkipListMap[K, V]() }},
-		{SortedArrayMapID, func(c int) Map[K, V] { return NewSortedArrayMapCap[K, V](c) }},
+	var out []MapVariant[K, V]
+	for _, e := range snapshot().entries {
+		if e.Group != GroupSorted || e.Info.Abstraction != MapAbstraction {
+			continue
+		}
+		if f := builtinSortedMapFactory[K, V](e.Info.ID); f != nil {
+			out = append(out, MapVariant[K, V]{e.Info.ID, f})
+		}
 	}
+	return out
 }
 
 // ConcurrentSetVariants returns factories for the concurrency-safe set
 // variants (opt-in candidates).
 func ConcurrentSetVariants[T comparable]() []SetVariant[T] {
-	return []SetVariant[T]{
-		{SyncSetID, func(c int) Set[T] { return NewSyncSet[T](c) }},
+	var out []SetVariant[T]
+	for _, e := range snapshot().entries {
+		if e.Group != GroupConcurrent || e.Info.Abstraction != SetAbstraction {
+			continue
+		}
+		if f := builtinSetFactory[T](e.Info.ID); f != nil {
+			out = append(out, SetVariant[T]{e.Info.ID, f})
+		}
 	}
+	return out
 }
 
 // ConcurrentMapVariants returns factories for the concurrency-safe map
 // variants (opt-in candidates).
 func ConcurrentMapVariants[K comparable, V any]() []MapVariant[K, V] {
-	return []MapVariant[K, V]{
-		{SyncMapID, func(c int) Map[K, V] { return NewSyncMap[K, V](c) }},
-		{ShardedMapID, func(c int) Map[K, V] { return NewShardedMap[K, V](c) }},
+	var out []MapVariant[K, V]
+	for _, e := range snapshot().entries {
+		if e.Group != GroupConcurrent || e.Info.Abstraction != MapAbstraction {
+			continue
+		}
+		if f := builtinMapFactory[K, V](e.Info.ID); f != nil {
+			out = append(out, MapVariant[K, V]{e.Info.ID, f})
+		}
 	}
+	return out
 }

@@ -57,7 +57,10 @@ type VariantInfo struct {
 	Description string
 }
 
-// AllVariantInfos returns the full variant inventory in Table 2 order.
+// AllVariantInfos returns the paper's variant inventory in Table 2 order —
+// the source table the catalog's core entries are built from. Extension and
+// user-registered variants are not included; see ExtensionVariantInfos and
+// Entries.
 func AllVariantInfos() []VariantInfo {
 	return []VariantInfo{
 		{ArrayListID, ListAbstraction, "JDK", "Array-backed list"},
@@ -85,21 +88,6 @@ func AllVariantInfos() []VariantInfo {
 	}
 }
 
-// AbstractionOf returns the abstraction a variant implements.
-func AbstractionOf(id VariantID) Abstraction {
-	for _, info := range AllVariantInfos() {
-		if info.ID == id {
-			return info.Abstraction
-		}
-	}
-	panic(fmt.Sprintf("collections: unknown variant %q", id))
-}
-
-// IsAdaptive reports whether id names one of the adaptive variants.
-func IsAdaptive(id VariantID) bool {
-	return id == AdaptiveListID || id == AdaptiveSetID || id == AdaptiveMapID
-}
-
 // ListVariant couples a variant ID with its factory for element type T.
 type ListVariant[T comparable] struct {
 	ID VariantID
@@ -119,49 +107,158 @@ type MapVariant[K comparable, V any] struct {
 	New func(capHint int) Map[K, V]
 }
 
-// ListVariants returns factories for every list variant.
+// builtinListFactory instantiates a builtin list variant for element type T,
+// nil when id is not a builtin list. Go cannot store a factory generic over
+// T in the catalog, so builtin entries leave Entry.factory nil and
+// instantiate through this switch.
+func builtinListFactory[T comparable](id VariantID) func(int) List[T] {
+	switch id {
+	case ArrayListID:
+		return func(c int) List[T] { return NewArrayListCap[T](c) }
+	case LinkedListID:
+		return func(int) List[T] { return NewLinkedList[T]() }
+	case HashArrayListID:
+		return func(int) List[T] { return NewHashArrayList[T]() }
+	case AdaptiveListID:
+		return func(int) List[T] { return NewAdaptiveList[T]() }
+	}
+	return nil
+}
+
+// builtinSetFactory covers the builtin set variants available for any
+// comparable element type (core + concurrent); the sorted variants need
+// cmp.Ordered, see builtinSortedSetFactory.
+func builtinSetFactory[T comparable](id VariantID) func(int) Set[T] {
+	switch id {
+	case HashSetID:
+		return func(c int) Set[T] { return NewHashSetCap[T](c) }
+	case OpenHashSetFastID:
+		return func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenFast, c) }
+	case OpenHashSetBalID:
+		return func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenBalanced, c) }
+	case OpenHashSetCmpID:
+		return func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenCompact, c) }
+	case LinkedHashSetID:
+		return func(c int) Set[T] { return NewLinkedHashSetCap[T](c) }
+	case ArraySetID:
+		return func(c int) Set[T] { return NewArraySetCap[T](c) }
+	case CompactHashSetID:
+		return func(c int) Set[T] { return NewCompactHashSetCap[T](c) }
+	case AdaptiveSetID:
+		return func(int) Set[T] { return NewAdaptiveSet[T]() }
+	case SyncSetID:
+		return func(c int) Set[T] { return NewSyncSet[T](c) }
+	}
+	return nil
+}
+
+// builtinMapFactory covers the builtin map variants available for any
+// comparable key type (core + concurrent).
+func builtinMapFactory[K comparable, V any](id VariantID) func(int) Map[K, V] {
+	switch id {
+	case HashMapID:
+		return func(c int) Map[K, V] { return NewHashMapCap[K, V](c) }
+	case OpenHashMapFastID:
+		return func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenFast, c) }
+	case OpenHashMapBalID:
+		return func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenBalanced, c) }
+	case OpenHashMapCmpID:
+		return func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenCompact, c) }
+	case LinkedHashMapID:
+		return func(c int) Map[K, V] { return NewLinkedHashMapCap[K, V](c) }
+	case ArrayMapID:
+		return func(c int) Map[K, V] { return NewArrayMapCap[K, V](c) }
+	case CompactHashMapID:
+		return func(c int) Map[K, V] { return NewCompactHashMapCap[K, V](c) }
+	case AdaptiveMapID:
+		return func(int) Map[K, V] { return NewAdaptiveMap[K, V]() }
+	case SyncMapID:
+		return func(c int) Map[K, V] { return NewSyncMap[K, V](c) }
+	case ShardedMapID:
+		return func(c int) Map[K, V] { return NewShardedMap[K, V](c) }
+	}
+	return nil
+}
+
+// listFactoryOf resolves a catalog entry to a typed list factory: the
+// registered factory for custom entries (nil when registered for a
+// different element type), the builtin switch otherwise.
+func listFactoryOf[T comparable](e Entry) func(int) List[T] {
+	if e.factory != nil {
+		f, _ := e.factory.(func(int) List[T])
+		return f
+	}
+	return builtinListFactory[T](e.Info.ID)
+}
+
+func setFactoryOf[T comparable](e Entry) func(int) Set[T] {
+	if e.factory != nil {
+		f, _ := e.factory.(func(int) Set[T])
+		return f
+	}
+	return builtinSetFactory[T](e.Info.ID)
+}
+
+func mapFactoryOf[K comparable, V any](e Entry) func(int) Map[K, V] {
+	if e.factory != nil {
+		f, _ := e.factory.(func(int) Map[K, V])
+		return f
+	}
+	return builtinMapFactory[K, V](e.Info.ID)
+}
+
+// ListVariants returns factories for the default list candidate pool: the
+// Table 2 list variants followed by any custom registrations usable at
+// element type T, in catalog order.
 func ListVariants[T comparable]() []ListVariant[T] {
-	return []ListVariant[T]{
-		{ArrayListID, func(c int) List[T] { return NewArrayListCap[T](c) }},
-		{LinkedListID, func(int) List[T] { return NewLinkedList[T]() }},
-		{HashArrayListID, func(int) List[T] { return NewHashArrayList[T]() }},
-		{AdaptiveListID, func(int) List[T] { return NewAdaptiveList[T]() }},
+	var out []ListVariant[T]
+	for _, e := range snapshot().entries {
+		if e.Info.Abstraction != ListAbstraction || !e.DefaultCandidate {
+			continue
+		}
+		if f := listFactoryOf[T](e); f != nil {
+			out = append(out, ListVariant[T]{e.Info.ID, f})
+		}
 	}
+	return out
 }
 
-// SetVariants returns factories for every set variant.
+// SetVariants returns factories for the default set candidate pool; see
+// ListVariants.
 func SetVariants[T comparable]() []SetVariant[T] {
-	return []SetVariant[T]{
-		{HashSetID, func(c int) Set[T] { return NewHashSetCap[T](c) }},
-		{OpenHashSetFastID, func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenFast, c) }},
-		{OpenHashSetBalID, func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenBalanced, c) }},
-		{OpenHashSetCmpID, func(c int) Set[T] { return NewOpenHashSetPreset[T](OpenCompact, c) }},
-		{LinkedHashSetID, func(c int) Set[T] { return NewLinkedHashSetCap[T](c) }},
-		{ArraySetID, func(c int) Set[T] { return NewArraySetCap[T](c) }},
-		{CompactHashSetID, func(c int) Set[T] { return NewCompactHashSetCap[T](c) }},
-		{AdaptiveSetID, func(int) Set[T] { return NewAdaptiveSet[T]() }},
+	var out []SetVariant[T]
+	for _, e := range snapshot().entries {
+		if e.Info.Abstraction != SetAbstraction || !e.DefaultCandidate {
+			continue
+		}
+		if f := setFactoryOf[T](e); f != nil {
+			out = append(out, SetVariant[T]{e.Info.ID, f})
+		}
 	}
+	return out
 }
 
-// MapVariants returns factories for every map variant.
+// MapVariants returns factories for the default map candidate pool; see
+// ListVariants.
 func MapVariants[K comparable, V any]() []MapVariant[K, V] {
-	return []MapVariant[K, V]{
-		{HashMapID, func(c int) Map[K, V] { return NewHashMapCap[K, V](c) }},
-		{OpenHashMapFastID, func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenFast, c) }},
-		{OpenHashMapBalID, func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenBalanced, c) }},
-		{OpenHashMapCmpID, func(c int) Map[K, V] { return NewOpenHashMapPreset[K, V](OpenCompact, c) }},
-		{LinkedHashMapID, func(c int) Map[K, V] { return NewLinkedHashMapCap[K, V](c) }},
-		{ArrayMapID, func(c int) Map[K, V] { return NewArrayMapCap[K, V](c) }},
-		{CompactHashMapID, func(c int) Map[K, V] { return NewCompactHashMapCap[K, V](c) }},
-		{AdaptiveMapID, func(int) Map[K, V] { return NewAdaptiveMap[K, V]() }},
+	var out []MapVariant[K, V]
+	for _, e := range snapshot().entries {
+		if e.Info.Abstraction != MapAbstraction || !e.DefaultCandidate {
+			continue
+		}
+		if f := mapFactoryOf[K, V](e); f != nil {
+			out = append(out, MapVariant[K, V]{e.Info.ID, f})
+		}
 	}
+	return out
 }
 
-// NewListOf instantiates a list variant by ID.
+// NewListOf instantiates a list variant by ID. It resolves through the full
+// catalog, so opt-in and custom variants work too.
 func NewListOf[T comparable](id VariantID, capHint int) List[T] {
-	for _, v := range ListVariants[T]() {
-		if v.ID == id {
-			return v.New(capHint)
+	if e, ok := EntryOf(id); ok && e.Info.Abstraction == ListAbstraction {
+		if f := listFactoryOf[T](e); f != nil {
+			return f(capHint)
 		}
 	}
 	panic(fmt.Sprintf("collections: unknown list variant %q", id))
@@ -169,9 +266,9 @@ func NewListOf[T comparable](id VariantID, capHint int) List[T] {
 
 // NewSetOf instantiates a set variant by ID.
 func NewSetOf[T comparable](id VariantID, capHint int) Set[T] {
-	for _, v := range SetVariants[T]() {
-		if v.ID == id {
-			return v.New(capHint)
+	if e, ok := EntryOf(id); ok && e.Info.Abstraction == SetAbstraction {
+		if f := setFactoryOf[T](e); f != nil {
+			return f(capHint)
 		}
 	}
 	panic(fmt.Sprintf("collections: unknown set variant %q", id))
@@ -179,9 +276,9 @@ func NewSetOf[T comparable](id VariantID, capHint int) Set[T] {
 
 // NewMapOf instantiates a map variant by ID.
 func NewMapOf[K comparable, V any](id VariantID, capHint int) Map[K, V] {
-	for _, v := range MapVariants[K, V]() {
-		if v.ID == id {
-			return v.New(capHint)
+	if e, ok := EntryOf(id); ok && e.Info.Abstraction == MapAbstraction {
+		if f := mapFactoryOf[K, V](e); f != nil {
+			return f(capHint)
 		}
 	}
 	panic(fmt.Sprintf("collections: unknown map variant %q", id))

@@ -158,6 +158,16 @@ type Engine struct {
 	sink    obs.Sink      // resolved sink (Config.Sink + Logf adapter); nil disables events
 	metrics *obs.Registry // never nil
 
+	// models is the hot-swappable cost-model handle (Config.Models at
+	// construction, replaced by SetModels). Contexts load it when they
+	// build a window's cost aggregate, so a swap takes effect at each
+	// context's next window without stopping monitoring.
+	models atomic.Pointer[perfmodel.Models]
+	// ruleDims are the distinct dimensions of cfg.Rule's criteria — the
+	// only dimensions a window aggregate needs to accumulate (and the only
+	// ones candidates need model curves for).
+	ruleDims []perfmodel.Dimension
+
 	mu          sync.Mutex
 	contexts    []analyzable
 	names       map[string]int // site label -> registrations seen (duplicate detection)
@@ -206,6 +216,19 @@ func newEngine(cfg Config) *Engine {
 		names:   make(map[string]int),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	e.models.Store(cfg.Models)
+	for _, crit := range cfg.Rule.Criteria {
+		seen := false
+		for _, d := range e.ruleDims {
+			if d == crit.Dimension {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			e.ruleDims = append(e.ruleDims, crit.Dimension)
+		}
 	}
 	for _, cl := range clamps {
 		e.metrics.ConfigClamps.Add(1)
@@ -466,6 +489,31 @@ func (e *Engine) closeWindow(name string, agg *costAgg, current collections.Vari
 	}
 	return current
 }
+
+// SetModels hot-swaps the engine's performance models at runtime without
+// stopping monitoring: each context picks up the new models at its next
+// analysis pass — a window already being monitored re-folds its collected
+// workloads against the new models, so the swap governs that window's
+// decision rather than waiting a full round.
+// Passing nil restores the shared analytic defaults. The swap is reported
+// through an obs.ModelsSwapped event and the ModelSwaps counter. Typical use
+// is loading a machine-built JSON model file (cmd/perfmodel) into a running
+// engine via perfmodel.LoadFile.
+func (e *Engine) SetModels(m *perfmodel.Models) {
+	defaulted := m == nil
+	if defaulted {
+		m = sharedDefaultModels()
+	}
+	e.models.Store(m)
+	e.metrics.ModelSwaps.Add(1)
+	if e.sink != nil {
+		e.sink.Emit(obs.ModelsSwapped{Engine: e.cfg.Name, Curves: m.Len(), Defaulted: defaulted})
+	}
+}
+
+// Models returns the engine's active performance models (the Config.Models
+// at construction, or the latest SetModels value).
+func (e *Engine) Models() *perfmodel.Models { return e.models.Load() }
 
 // Transitions returns a copy of the transition log in occurrence order.
 func (e *Engine) Transitions() []Transition {

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/collections"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
+	"repro/internal/polyfit"
+)
+
+// flatModels builds a model set with one constant time curve per critical
+// operation for each given variant, and no other dimensions — the minimal
+// coverage an Rtime engine needs (unused dimensions must not be demanded of
+// user-supplied model files).
+func flatModels(costs map[collections.VariantID]float64) *perfmodel.Models {
+	m := perfmodel.NewModels()
+	for v, c := range costs {
+		for _, op := range perfmodel.Ops() {
+			m.Set(v, op, perfmodel.DimTimeNS, polyfit.Poly{Coeffs: []float64{c}})
+		}
+	}
+	return m
+}
+
+func countKind(events []obs.Event, k obs.Kind) int {
+	n := 0
+	for _, e := range events {
+		if e.EventKind() == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestModelMissingSkipsCandidate pins the model-gap behavior: candidates
+// the active models cannot price are dropped from the ranking with one
+// ModelMissing warning each, the remaining candidates stay selectable, and
+// the warnings are not repeated on later windows under the same models.
+func TestModelMissingSkipsCandidate(t *testing.T) {
+	// Only two of the four default list candidates are priced; LinkedList
+	// is made to dominate so the filtered ranking still switches.
+	m := flatModels(map[collections.VariantID]float64{
+		collections.ArrayListID:  100,
+		collections.LinkedListID: 1,
+	})
+	col := obs.NewCollector()
+	reg := obs.NewRegistry()
+	e := NewEngineManual(Config{
+		WindowSize: 10, FinishedRatio: 0.6, CooldownWindows: -1,
+		Rule: Rtime(), Models: m, Name: "gaps", Sink: col, Metrics: reg,
+	})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("gaps:list"))
+
+	churnLists(ctx, 10, 50, 50)
+	e.AnalyzeNow()
+	if got := ctx.CurrentVariant(); got != collections.LinkedListID {
+		t.Fatalf("selected %s, want %s (ranking over the priced candidates)", got, collections.LinkedListID)
+	}
+
+	missing := map[string]bool{}
+	for _, ev := range col.Events() {
+		mm, ok := ev.(obs.ModelMissing)
+		if !ok {
+			continue
+		}
+		if mm.Context != "gaps:list" || mm.Dimension != string(perfmodel.DimTimeNS) {
+			t.Fatalf("unexpected ModelMissing fields: %+v", mm)
+		}
+		if missing[mm.Variant] {
+			t.Fatalf("duplicate ModelMissing for %s", mm.Variant)
+		}
+		missing[mm.Variant] = true
+	}
+	for _, want := range []collections.VariantID{collections.HashArrayListID, collections.AdaptiveListID} {
+		if !missing[string(want)] {
+			t.Fatalf("no ModelMissing warning for unpriced candidate %s (got %v)", want, missing)
+		}
+	}
+	if got := reg.ModelGaps.Load(); got != int64(len(missing)) {
+		t.Fatalf("ModelGaps = %d, want %d", got, len(missing))
+	}
+
+	// A second window under the same models must not repeat the warnings.
+	before := countKind(col.Events(), obs.KindModelMissing)
+	churnLists(ctx, 10, 50, 50)
+	e.AnalyzeNow()
+	if after := countKind(col.Events(), obs.KindModelMissing); after != before {
+		t.Fatalf("warnings repeated: %d -> %d ModelMissing events", before, after)
+	}
+}
+
+// TestSetModelsTakesEffect pins the hot-reload path: a swap is visible
+// through Models(), emits a ModelsSwapped event, resets the per-model-set
+// warning dedup, and the next closed window ranks under the new models.
+func TestSetModelsTakesEffect(t *testing.T) {
+	// Initial models price ArrayList alone: nothing to switch to.
+	m1 := flatModels(map[collections.VariantID]float64{collections.ArrayListID: 100})
+	col := obs.NewCollector()
+	reg := obs.NewRegistry()
+	e := NewEngineManual(Config{
+		WindowSize: 10, FinishedRatio: 0.6, CooldownWindows: -1,
+		Rule: Rtime(), Models: m1, Name: "swap", Sink: col, Metrics: reg,
+	})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("swap:list"))
+
+	churnLists(ctx, 10, 50, 50)
+	e.AnalyzeNow()
+	if got := ctx.CurrentVariant(); got != collections.ArrayListID {
+		t.Fatalf("selected %s with a single priced candidate, want no switch", got)
+	}
+	gapsBefore := countKind(col.Events(), obs.KindModelMissing)
+	if gapsBefore == 0 {
+		t.Fatal("expected ModelMissing warnings under the partial models")
+	}
+
+	// Swap in models that also price LinkedList as dominant.
+	m2 := flatModels(map[collections.VariantID]float64{
+		collections.ArrayListID:  100,
+		collections.LinkedListID: 1,
+	})
+	e.SetModels(m2)
+	if e.Models() != m2 {
+		t.Fatal("Models() does not return the swapped-in set")
+	}
+	if got := reg.ModelSwaps.Load(); got != 1 {
+		t.Fatalf("ModelSwaps = %d, want 1", got)
+	}
+	sw, ok := firstOfKind(col.Events(), obs.KindModelsSwapped)
+	if !ok {
+		t.Fatal("no ModelsSwapped event")
+	}
+	if ev := sw.(obs.ModelsSwapped); ev.Engine != "swap" || ev.Defaulted || ev.Curves != m2.Len() {
+		t.Fatalf("ModelsSwapped = %+v", ev)
+	}
+
+	churnLists(ctx, 10, 50, 50)
+	e.AnalyzeNow()
+	if got := ctx.CurrentVariant(); got != collections.LinkedListID {
+		t.Fatalf("selected %s after swap, want %s", got, collections.LinkedListID)
+	}
+	// The dedup is per model set: the still-unpriced candidates warn again.
+	if after := countKind(col.Events(), obs.KindModelMissing); after <= gapsBefore {
+		t.Fatalf("warning dedup not reset by swap: %d -> %d", gapsBefore, after)
+	}
+
+	// nil restores the analytic defaults and says so.
+	e.SetModels(nil)
+	if e.Models() == nil || e.Models() == m2 {
+		t.Fatal("SetModels(nil) did not restore the defaults")
+	}
+	var last obs.ModelsSwapped
+	for _, ev := range col.Events() {
+		if s, ok := ev.(obs.ModelsSwapped); ok {
+			last = s
+		}
+	}
+	if !last.Defaulted {
+		t.Fatalf("restoring defaults reported Defaulted=false: %+v", last)
+	}
+}
+
+// TestSetModelsRaceHammer exercises concurrent hot-swaps against live
+// monitoring and analysis. Run with -race (the CI race job includes this
+// package); correctness assertions are minimal — the test exists to give
+// the race detector interleavings.
+func TestSetModelsRaceHammer(t *testing.T) {
+	e := NewEngineManual(Config{
+		WindowSize: 10, FinishedRatio: 0.6, CooldownWindows: -1,
+		Rule: Rtime(), Name: "hammer",
+	})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("hammer:list"))
+
+	alt := flatModels(map[collections.VariantID]float64{
+		collections.ArrayListID:  10,
+		collections.LinkedListID: 20,
+	})
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if i%2 == 0 {
+				e.SetModels(alt)
+			} else {
+				e.SetModels(nil)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			l := ctx.NewList()
+			l.Add(i)
+			l.Contains(i)
+			_ = e.Models()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/10; i++ {
+			e.AnalyzeNow()
+		}
+	}()
+	wg.Wait()
+	if e.Models() == nil {
+		t.Fatal("nil model handle after hammering")
+	}
+}

@@ -24,10 +24,18 @@ type costAgg struct {
 }
 
 func newCostAgg(models *perfmodel.Models, candidates []collections.VariantID) *costAgg {
+	return newCostAggDims(models, candidates, perfmodel.Dimensions())
+}
+
+// newCostAggDims builds an aggregate over only the given dimensions. The
+// site cores pass the active rule's dimensions: accumulating dimensions the
+// rule never reads would waste fold work and would demand model curves the
+// decision cannot use.
+func newCostAggDims(models *perfmodel.Models, candidates []collections.VariantID, dims []perfmodel.Dimension) *costAgg {
 	a := &costAgg{
 		models:     models,
 		candidates: candidates,
-		dims:       perfmodel.Dimensions(),
+		dims:       dims,
 		tc:         make([][]float64, len(candidates)),
 		minSize:    math.MaxInt64,
 	}
@@ -35,6 +43,27 @@ func newCostAgg(models *perfmodel.Models, candidates []collections.VariantID) *c
 		a.tc[i] = make([]float64, len(a.dims))
 	}
 	return a
+}
+
+// missingCurve reports the first (op, dimension) cell a candidate lacks a
+// model curve for, over exactly the cells fold will evaluate: every critical
+// op per dimension, except footprint which is charged through the populate
+// curve only.
+func missingCurve(models *perfmodel.Models, v collections.VariantID, dims []perfmodel.Dimension) (perfmodel.Op, perfmodel.Dimension, bool) {
+	for _, dim := range dims {
+		if dim == perfmodel.DimFootprint {
+			if !models.Has(v, perfmodel.OpPopulate, dim) {
+				return perfmodel.OpPopulate, dim, true
+			}
+			continue
+		}
+		for _, op := range perfmodel.Ops() {
+			if !models.Has(v, op, dim) {
+				return op, dim, true
+			}
+		}
+	}
+	return "", "", false
 }
 
 // fold adds one instance workload to the running totals.

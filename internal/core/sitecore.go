@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/collections"
 	"repro/internal/obs"
+	"repro/internal/perfmodel"
 )
 
 // This file implements the adaptive allocation context of Section 4.3 once,
@@ -73,10 +74,20 @@ type siteCore[C any, M any] struct {
 	// cur is the variant future instantiations use, swapped at window close.
 	cur atomic.Pointer[curVariant[C]]
 
-	mu     sync.Mutex // guards window, agg, round
+	mu     sync.Mutex // guards window, agg, round, missingWarned
 	window []*siteRecord[M]
 	agg    *costAgg
 	round  int
+
+	// candidates is the factory-filtered candidate pool. The per-window
+	// aggregate is built from the subset the active models fully cover
+	// (see buildAgg); keeping the full list here lets a model hot-swap
+	// restore candidates an earlier model set was missing curves for.
+	candidates []collections.VariantID
+	// missingWarned dedupes ModelMissing warnings: one per (context,
+	// variant) per model set (warnedFor tracks which set it applies to).
+	missingWarned map[collections.VariantID]bool
+	warnedFor     *perfmodel.Models
 }
 
 // init populates a zero siteCore in place (it contains atomics and a mutex,
@@ -89,8 +100,46 @@ func (c *siteCore[C, M]) init(e *Engine, o ctxOptions, factories map[collections
 	c.wrap = wrap
 	c.unwrap = unwrap
 	c.threshold = threshold
-	c.agg = newCostAgg(e.cfg.Models, filterKnown(o.candidates, factories))
+	c.candidates = filterKnown(o.candidates, factories)
+	c.missingWarned = make(map[collections.VariantID]bool)
+	c.agg = c.buildAgg()
 	c.cur.Store(&curVariant[C]{id: o.defaultVar, factory: factories[o.defaultVar]})
+}
+
+// buildAgg constructs the cost aggregate for the next monitoring window
+// against the engine's active models: candidates lacking a curve for any
+// (op × rule-dimension) cell the fold will evaluate are skipped — ranking a
+// partially modeled candidate against fully modeled ones would mis-rank it
+// (and panic in Models.Cost) — and the first gap is reported once per
+// (context, variant) per model set through an obs.ModelMissing warning.
+func (c *siteCore[C, M]) buildAgg() *costAgg {
+	models := c.e.models.Load()
+	if models != c.warnedFor {
+		c.warnedFor = models
+		clear(c.missingWarned)
+	}
+	usable := make([]collections.VariantID, 0, len(c.candidates))
+	for _, v := range c.candidates {
+		op, dim, missing := missingCurve(models, v, c.e.ruleDims)
+		if !missing {
+			usable = append(usable, v)
+			continue
+		}
+		if !c.missingWarned[v] {
+			c.missingWarned[v] = true
+			c.e.metrics.ModelGaps.Add(1)
+			if c.e.sink != nil {
+				c.e.sink.Emit(obs.ModelMissing{
+					Engine:    c.e.cfg.Name,
+					Context:   c.name,
+					Variant:   string(v),
+					Op:        string(op),
+					Dimension: string(dim),
+				})
+			}
+		}
+	}
+	return newCostAggDims(models, usable, c.e.ruleDims)
 }
 
 // newCollection returns a collection of the context's current variant. The
@@ -182,6 +231,20 @@ func (c *siteCore[C, M]) windowStats() obs.ContextWindowStat {
 func (c *siteCore[C, M]) analyze() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.e.models.Load() != c.agg.models {
+		// Models were hot-swapped mid-window. The per-instance workload
+		// snapshots are still held by the window records, so rebuild the
+		// aggregate against the new models and re-fold what was already
+		// folded — the swap then governs this window's decision, not just
+		// the next one's.
+		fresh := c.buildAgg()
+		for _, r := range c.window {
+			if r.folded {
+				fresh.fold(r.p.snapshot())
+			}
+		}
+		c.agg = fresh
+	}
 	reclaimed := 0
 	for _, r := range c.window {
 		if !r.folded && r.ref.Value() == nil {
@@ -216,7 +279,7 @@ func (c *siteCore[C, M]) analyze() {
 		c.cur.Store(&curVariant[C]{id: next, factory: c.factories[next]})
 	}
 	c.window = c.window[:0]
-	c.agg = newCostAgg(c.e.cfg.Models, c.agg.candidates)
+	c.agg = c.buildAgg()
 	c.round++
 	c.state.Store(int64(cooldown)) // 0 reopens the window immediately
 }

@@ -44,6 +44,7 @@ func newFig5Engine(rule core.Rule, name string, o Obs) *core.Engine {
 		WindowSize:          100,
 		FinishedRatio:       0.6,
 		Rule:                rule,
+		Models:              o.Models,
 		AnalysisParallelism: o.Parallelism,
 		Name:                name,
 		Sink:                o.Sink,

@@ -47,6 +47,7 @@ func RunFig6Obs(sc Scale, o Obs) Fig6Result {
 		WindowSize:          100,
 		FinishedRatio:       0.6,
 		Rule:                core.Rtime(),
+		Models:              o.Models,
 		AnalysisParallelism: o.Parallelism,
 		Name:                "fig6",
 		Sink:                o.Sink,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/collections"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/perfmodel"
 	"repro/internal/stats"
 )
 
@@ -24,6 +25,9 @@ type Obs struct {
 	Sink        obs.Sink
 	Metrics     *obs.Registry
 	Parallelism int
+	// Models overrides every experiment engine's cost models (the -models
+	// flag; nil = the analytic defaults).
+	Models *perfmodel.Models
 }
 
 // PrintTable2 renders the collection-variant inventory (paper Table 2).
@@ -69,6 +73,7 @@ func RunTable5Obs(sc Scale, o Obs) []apps.Row {
 		Sink:        o.Sink,
 		Metrics:     o.Metrics,
 		Parallelism: o.Parallelism,
+		Models:      o.Models,
 	}
 	return apps.MeasureAll(cfg)
 }
@@ -224,6 +229,7 @@ func RunOverheadObs(sc Scale, o Obs) []OverheadRow {
 			Sink:        o.Sink,
 			Metrics:     o.Metrics,
 			Parallelism: o.Parallelism,
+			Models:      o.Models,
 		}
 		for i := 0; i < sc.AppMeasured; i++ {
 			orig := apps.Run(app, apps.ModeOriginal, core.Rtime(), 1)

@@ -121,6 +121,15 @@ func decodeKind(kind Kind, raw json.RawMessage) (Event, error) {
 	case KindEngineClosed:
 		var e EngineClosed
 		return e, unmarshal(&e)
+	case KindModelsSwapped:
+		var e ModelsSwapped
+		return e, unmarshal(&e)
+	case KindModelMissing:
+		var e ModelMissing
+		return e, unmarshal(&e)
+	case KindBenchmarkProgress:
+		var e BenchmarkProgress
+		return e, unmarshal(&e)
 	default:
 		return nil, fmt.Errorf("obs: unknown event kind %q", kind)
 	}

@@ -125,6 +125,11 @@ type Registry struct {
 	WeakReclaims     Counter
 	CooldownsEntered Counter
 	ConfigClamps     Counter
+	// ModelSwaps counts runtime cost-model hot-swaps (Engine.SetModels);
+	// ModelGaps counts candidates skipped from a context's ranking because
+	// the active models lack a curve the rule needs.
+	ModelSwaps Counter
+	ModelGaps  Counter
 
 	mu          sync.Mutex
 	transitions map[TransitionKey]int64
@@ -197,6 +202,8 @@ func (r *Registry) counterRows() []struct {
 		{"collectionswitch_weak_reclaims_total", "monitored instances observed reclaimed", r.WeakReclaims.Load()},
 		{"collectionswitch_cooldowns_entered_total", "post-round cooldown activations", r.CooldownsEntered.Load()},
 		{"collectionswitch_config_clamps_total", "configuration fields rewritten by validation", r.ConfigClamps.Load()},
+		{"collectionswitch_model_swaps_total", "runtime cost-model hot-swaps", r.ModelSwaps.Load()},
+		{"collectionswitch_model_gaps_total", "candidates skipped for missing model curves", r.ModelGaps.Load()},
 	}
 }
 

@@ -55,6 +55,9 @@ const (
 	KindCooldownEntered      Kind = "cooldown_entered"
 	KindConfigClamped        Kind = "config_clamped"
 	KindEngineClosed         Kind = "engine_closed"
+	KindModelsSwapped        Kind = "models_swapped"
+	KindModelMissing         Kind = "model_missing"
+	KindBenchmarkProgress    Kind = "benchmark_progress"
 )
 
 // Event is one structured framework event. Concrete types are plain value
@@ -275,4 +278,58 @@ func (e EngineClosed) EngineName() string { return e.Engine }
 func (e EngineClosed) Logline() (string, []any) {
 	return "engine closed: %d contexts, %d rounds, %d transitions",
 		[]any{e.Contexts, e.Rounds, e.Transitions}
+}
+
+// ModelsSwapped reports a runtime cost-model hot-swap (Engine.SetModels):
+// from the next window close on, every context ranks its candidates against
+// the new curves. Curves is the size of the new model set.
+type ModelsSwapped struct {
+	Engine string `json:"engine,omitempty"`
+	Curves int    `json:"curves"`
+	// Defaulted marks a swap to the shared analytic defaults (SetModels(nil)).
+	Defaulted bool `json:"defaulted,omitempty"`
+}
+
+func (ModelsSwapped) EventKind() Kind      { return KindModelsSwapped }
+func (e ModelsSwapped) EngineName() string { return e.Engine }
+func (e ModelsSwapped) Logline() (string, []any) {
+	if e.Defaulted {
+		return "models swapped to analytic defaults (%d curves)", []any{e.Curves}
+	}
+	return "models swapped (%d curves)", []any{e.Curves}
+}
+
+// ModelMissing warns that a candidate variant lacks a cost curve the active
+// rule needs (the named op × dimension is the first gap found). The engine
+// skips the candidate for the context's ranking instead of mis-ranking it
+// against fully modeled candidates; it is emitted once per (context,
+// variant) per model set.
+type ModelMissing struct {
+	Engine    string `json:"engine,omitempty"`
+	Context   string `json:"context"`
+	Variant   string `json:"variant"`
+	Op        string `json:"op"`
+	Dimension string `json:"dimension"`
+}
+
+func (ModelMissing) EventKind() Kind      { return KindModelMissing }
+func (e ModelMissing) EngineName() string { return e.Engine }
+func (e ModelMissing) Logline() (string, []any) {
+	return "candidate %s skipped at %s: no model curve for %s/%s",
+		[]any{e.Variant, e.Context, e.Op, e.Dimension}
+}
+
+// BenchmarkProgress reports one completed (variant, op) cell of a model
+// building run (perfmodel.Builder) — Done of Total cells fitted.
+type BenchmarkProgress struct {
+	Variant string `json:"variant"`
+	Op      string `json:"op"`
+	Done    int    `json:"done"`
+	Total   int    `json:"total"`
+}
+
+func (BenchmarkProgress) EventKind() Kind    { return KindBenchmarkProgress }
+func (BenchmarkProgress) EngineName() string { return "" }
+func (e BenchmarkProgress) Logline() (string, []any) {
+	return "benchmarked %s %s (%d/%d)", []any{e.Variant, e.Op, e.Done, e.Total}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/collections"
+	"repro/internal/obs"
 	"repro/internal/polyfit"
 )
 
@@ -13,6 +14,11 @@ import (
 // factorial plan and fits the cost polynomials. It plays the role JMH plays
 // in the paper, using testing.Benchmark for steady-state timing and
 // allocation profiling (ns/op and B/op).
+//
+// The driver is generic: it measures whatever collections.BenchTarget
+// adapters the catalog hands it, so a user-registered variant is benchmarked
+// by the same code path as the builtins (BuildLists/BuildSets/BuildMaps are
+// thin projections over the catalog's default candidates).
 
 // Builder runs the benchmark plan and produces Models.
 type Builder struct {
@@ -20,8 +26,13 @@ type Builder struct {
 	// Progress, if non-nil, receives a line per completed (variant, op)
 	// pair — cmd/perfmodel wires this to stderr.
 	Progress func(variant collections.VariantID, op Op)
+	// Sink, if non-nil, receives an obs.BenchmarkProgress event per
+	// completed (variant, op) pair with done/total counts.
+	Sink obs.Sink
 	// rng drives the uniform data distribution of Table 3.
 	seed int64
+	// progress counters across one Build run.
+	done, total int
 }
 
 // NewBuilder returns a Builder over the given plan.
@@ -71,199 +82,80 @@ func (b *Builder) bench(warm func(), fn func(bi *testing.B)) (ns, alloc float64)
 	return float64(res.NsPerOp()), float64(res.AllocedBytesPerOp())
 }
 
-// BuildLists measures every list variant and returns their models.
-func (b *Builder) BuildLists() (*Models, error) {
+// Build measures the given benchmark targets and returns their models
+// (without the synthesized energy dimension; see BuildAll).
+func (b *Builder) Build(targets []collections.BenchTarget) (*Models, error) {
+	b.done, b.total = 0, len(targets)*len(Ops())
 	m := NewModels()
-	for _, variant := range collections.ListVariants[int]() {
-		if err := b.buildList(m, variant); err != nil {
+	for _, t := range targets {
+		if err := b.buildTarget(m, t); err != nil {
 			return nil, err
 		}
 	}
 	return m, nil
 }
 
-func (b *Builder) buildList(m *Models, variant collections.ListVariant[int]) error {
-	type opSamples map[Op][]sample
-	all := opSamples{}
+// buildTarget measures one variant across the factorial plan through its
+// catalog bench adapter.
+func (b *Builder) buildTarget(m *Models, t collections.BenchTarget) error {
+	all := map[Op][]sample{}
 	foot := make([]sample, 0, len(b.Plan.Sizes))
 	for _, size := range b.Plan.Sizes {
 		keys, probes := keysFor(size, b.seed)
-		populate := func() collections.List[int] {
-			l := variant.New(0)
-			for _, k := range keys {
-				l.Add(k)
-			}
-			return l
-		}
-		// populate: per full population to size.
-		ns, alloc := b.bench(func() { populate() }, func(bi *testing.B) {
+
+		// populate: per full population to size (the adapter populates).
+		ns, alloc := b.bench(func() { t.Adapter(keys) }, func(bi *testing.B) {
 			for i := 0; i < bi.N; i++ {
-				populate()
+				t.Adapter(keys)
 			}
 		})
 		all[OpPopulate] = append(all[OpPopulate], sample{size, ns, alloc})
 
-		l := populate()
-		// contains: per call at size.
-		ns, alloc = b.bench(func() { l.Contains(probes[0]) }, func(bi *testing.B) {
+		h := t.Adapter(keys)
+		// contains: per call at size, probing present and absent keys.
+		ns, alloc = b.bench(func() { h.Contains(probes[0]) }, func(bi *testing.B) {
 			for i := 0; i < bi.N; i++ {
-				l.Contains(probes[i%len(probes)])
+				h.Contains(probes[i%len(probes)])
 			}
 		})
 		all[OpContains] = append(all[OpContains], sample{size, ns, alloc})
 
 		// iterate: per full traversal at size.
-		sink := 0
 		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
 			for i := 0; i < bi.N; i++ {
-				l.ForEach(func(v int) bool { sink += v; return true })
+				h.Iterate()
 			}
 		})
-		_ = sink
 		all[OpIterate] = append(all[OpIterate], sample{size, ns, alloc})
 
-		// middle: insert + remove at the midpoint, size stays constant.
+		// middle: the abstraction's size-preserving middle mutation.
 		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
-			mid := l.Len() / 2
 			for i := 0; i < bi.N; i++ {
-				l.Insert(mid, -1)
-				l.RemoveAt(mid)
+				h.Middle()
 			}
 		})
 		all[OpMiddle] = append(all[OpMiddle], sample{size, ns, alloc})
 
-		if sz, ok := l.(collections.Sizer); ok {
-			foot = append(foot, sample{size, float64(sz.FootprintBytes()), 0})
+		if fp, ok := h.Footprint(); ok {
+			foot = append(foot, sample{size, float64(fp), 0})
 		}
 	}
-	return b.store(m, variant.ID, all, foot)
+	return b.store(m, t.ID, all, foot)
 }
 
-// BuildSets measures every set variant and returns their models.
+// BuildLists measures every default list candidate and returns their models.
+func (b *Builder) BuildLists() (*Models, error) {
+	return b.Build(collections.BenchTargets(collections.ListAbstraction))
+}
+
+// BuildSets measures every default set candidate and returns their models.
 func (b *Builder) BuildSets() (*Models, error) {
-	m := NewModels()
-	for _, variant := range collections.SetVariants[int]() {
-		if err := b.buildSet(m, variant); err != nil {
-			return nil, err
-		}
-	}
-	return m, nil
+	return b.Build(collections.BenchTargets(collections.SetAbstraction))
 }
 
-func (b *Builder) buildSet(m *Models, variant collections.SetVariant[int]) error {
-	all := map[Op][]sample{}
-	foot := make([]sample, 0, len(b.Plan.Sizes))
-	for _, size := range b.Plan.Sizes {
-		keys, probes := keysFor(size, b.seed)
-		populate := func() collections.Set[int] {
-			s := variant.New(0)
-			for _, k := range keys {
-				s.Add(k)
-			}
-			return s
-		}
-		ns, alloc := b.bench(func() { populate() }, func(bi *testing.B) {
-			for i := 0; i < bi.N; i++ {
-				populate()
-			}
-		})
-		all[OpPopulate] = append(all[OpPopulate], sample{size, ns, alloc})
-
-		s := populate()
-		ns, alloc = b.bench(func() { s.Contains(probes[0]) }, func(bi *testing.B) {
-			for i := 0; i < bi.N; i++ {
-				s.Contains(probes[i%len(probes)])
-			}
-		})
-		all[OpContains] = append(all[OpContains], sample{size, ns, alloc})
-
-		sink := 0
-		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
-			for i := 0; i < bi.N; i++ {
-				s.ForEach(func(v int) bool { sink += v; return true })
-			}
-		})
-		_ = sink
-		all[OpIterate] = append(all[OpIterate], sample{size, ns, alloc})
-
-		// middle for sets: add + remove of a fresh element.
-		fresh := size*2 + 1
-		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
-			for i := 0; i < bi.N; i++ {
-				s.Add(fresh)
-				s.Remove(fresh)
-			}
-		})
-		all[OpMiddle] = append(all[OpMiddle], sample{size, ns, alloc})
-
-		if sz, ok := s.(collections.Sizer); ok {
-			foot = append(foot, sample{size, float64(sz.FootprintBytes()), 0})
-		}
-	}
-	return b.store(m, variant.ID, all, foot)
-}
-
-// BuildMaps measures every map variant and returns their models.
+// BuildMaps measures every default map candidate and returns their models.
 func (b *Builder) BuildMaps() (*Models, error) {
-	m := NewModels()
-	for _, variant := range collections.MapVariants[int, int]() {
-		if err := b.buildMap(m, variant); err != nil {
-			return nil, err
-		}
-	}
-	return m, nil
-}
-
-func (b *Builder) buildMap(m *Models, variant collections.MapVariant[int, int]) error {
-	all := map[Op][]sample{}
-	foot := make([]sample, 0, len(b.Plan.Sizes))
-	for _, size := range b.Plan.Sizes {
-		keys, probes := keysFor(size, b.seed)
-		populate := func() collections.Map[int, int] {
-			mp := variant.New(0)
-			for _, k := range keys {
-				mp.Put(k, k)
-			}
-			return mp
-		}
-		ns, alloc := b.bench(func() { populate() }, func(bi *testing.B) {
-			for i := 0; i < bi.N; i++ {
-				populate()
-			}
-		})
-		all[OpPopulate] = append(all[OpPopulate], sample{size, ns, alloc})
-
-		mp := populate()
-		ns, alloc = b.bench(func() { mp.Get(probes[0]) }, func(bi *testing.B) {
-			for i := 0; i < bi.N; i++ {
-				mp.Get(probes[i%len(probes)])
-			}
-		})
-		all[OpContains] = append(all[OpContains], sample{size, ns, alloc})
-
-		sink := 0
-		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
-			for i := 0; i < bi.N; i++ {
-				mp.ForEach(func(_, v int) bool { sink += v; return true })
-			}
-		})
-		_ = sink
-		all[OpIterate] = append(all[OpIterate], sample{size, ns, alloc})
-
-		fresh := size*2 + 1
-		ns, alloc = b.bench(func() {}, func(bi *testing.B) {
-			for i := 0; i < bi.N; i++ {
-				mp.Put(fresh, fresh)
-				mp.Remove(fresh)
-			}
-		})
-		all[OpMiddle] = append(all[OpMiddle], sample{size, ns, alloc})
-
-		if sz, ok := mp.(collections.Sizer); ok {
-			foot = append(foot, sample{size, float64(sz.FootprintBytes()), 0})
-		}
-	}
-	return b.store(m, variant.ID, all, foot)
+	return b.Build(collections.BenchTargets(collections.MapAbstraction))
 }
 
 // fitSamples fits one dimension of a sample series; for adaptive variants
@@ -272,7 +164,7 @@ func (b *Builder) buildMap(m *Models, variant collections.MapVariant[int, int]) 
 // regime has too few samples.
 func (b *Builder) fitSamples(m *Models, id collections.VariantID, op Op, dim Dimension, samples []sample, pick func(sample) float64) error {
 	if collections.IsAdaptive(id) {
-		thr := adaptiveThresholdOf(id)
+		thr := float64(collections.AdaptiveThresholdOf(id))
 		var below, above []sample
 		for _, s := range samples {
 			if float64(s.size) <= thr {
@@ -324,8 +216,14 @@ func (b *Builder) store(m *Models, id collections.VariantID, all map[Op][]sample
 		if err := b.fitSamples(m, id, op, DimAllocB, samples, func(s sample) float64 { return s.alloc }); err != nil {
 			return err
 		}
+		b.done++
 		if b.Progress != nil {
 			b.Progress(id, op)
+		}
+		if b.Sink != nil {
+			b.Sink.Emit(obs.BenchmarkProgress{
+				Variant: string(id), Op: string(op), Done: b.done, Total: b.total,
+			})
 		}
 	}
 	if len(foot) > 0 {
@@ -338,22 +236,16 @@ func (b *Builder) store(m *Models, id collections.VariantID, all map[Op][]sample
 	return nil
 }
 
-// BuildAll measures lists, sets and maps and returns the merged models.
+// BuildAll measures every default candidate of every abstraction and returns
+// the merged models with the synthesized energy dimension.
 func (b *Builder) BuildAll() (*Models, error) {
-	lists, err := b.BuildLists()
+	targets := collections.BenchTargets(collections.ListAbstraction)
+	targets = append(targets, collections.BenchTargets(collections.SetAbstraction)...)
+	targets = append(targets, collections.BenchTargets(collections.MapAbstraction)...)
+	m, err := b.Build(targets)
 	if err != nil {
 		return nil, err
 	}
-	sets, err := b.BuildSets()
-	if err != nil {
-		return nil, err
-	}
-	maps, err := b.BuildMaps()
-	if err != nil {
-		return nil, err
-	}
-	lists.Merge(sets)
-	lists.Merge(maps)
-	SynthesizeEnergy(lists)
-	return lists, nil
+	SynthesizeEnergy(m)
+	return m, nil
 }

@@ -1,0 +1,132 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/collections"
+	"repro/internal/polyfit"
+)
+
+// TestOpNamesMatchCatalog pins the string contract between the catalog's
+// critical-operation names and this package's Op constants: an analytic
+// model keyed by collections.OpName* must resolve to the same curves the
+// engine queries by perfmodel.Op.
+func TestOpNamesMatchCatalog(t *testing.T) {
+	want := collections.OpNames()
+	ops := Ops()
+	if len(ops) != len(want) {
+		t.Fatalf("Ops() has %d entries, catalog OpNames() has %d", len(ops), len(want))
+	}
+	for i, op := range ops {
+		if string(op) != want[i] {
+			t.Fatalf("Ops()[%d] = %q, catalog OpNames()[%d] = %q", i, op, i, want[i])
+		}
+	}
+}
+
+// TestJSONRoundTripAfterMerge saves a merged model set (one plain curve, one
+// piecewise curve from a second Models) and checks every curve survives the
+// byte round trip.
+func TestJSONRoundTripAfterMerge(t *testing.T) {
+	a := NewModels()
+	a.Set("v/plain", OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{2, 0.5}})
+	b := NewModels()
+	b.SetPiecewise("v/adaptive", OpPopulate, DimAllocB, 80,
+		polyfit.Poly{Coeffs: []float64{10, 1}},
+		polyfit.Poly{Coeffs: []float64{200, 3}})
+	b.Set("v/plain", OpContains, DimAllocB, polyfit.Poly{Coeffs: []float64{0, 8}})
+	a.Merge(b)
+
+	path := t.TempDir() + "/merged.json"
+	if err := a.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.Len() != a.Len() {
+		t.Fatalf("round trip kept %d curves, want %d", got.Len(), a.Len())
+	}
+	for _, size := range []float64{1, 40, 80, 81, 500, 1000} {
+		for _, probe := range []struct {
+			v   collections.VariantID
+			op  Op
+			dim Dimension
+		}{
+			{"v/plain", OpContains, DimTimeNS},
+			{"v/plain", OpContains, DimAllocB},
+			{"v/adaptive", OpPopulate, DimAllocB},
+		} {
+			want := a.Cost(probe.v, probe.op, probe.dim, size)
+			if g := got.Cost(probe.v, probe.op, probe.dim, size); g != want {
+				t.Fatalf("Cost(%s,%s,%s,%g) = %g after round trip, want %g",
+					probe.v, probe.op, probe.dim, size, g, want)
+			}
+		}
+	}
+}
+
+// checkFinite asserts Cost is finite and non-negative for every curve of m
+// at the given size.
+func checkFinite(t *testing.T, m *Models, size float64) {
+	t.Helper()
+	for _, v := range m.Variants() {
+		for _, op := range Ops() {
+			for _, dim := range Dimensions() {
+				if !m.Has(v, op, dim) {
+					continue
+				}
+				c := m.Cost(v, op, dim, size)
+				if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+					t.Fatalf("Cost(%s, %s, %s, %g) = %v: not finite non-negative", v, op, dim, size, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDefaultCostsFiniteNonNegative sweeps the Table 3 size range (and a
+// margin beyond it) over every curve of the shipped defaults: the selection
+// arithmetic divides and ranks these numbers, so a NaN or infinity anywhere
+// would silently corrupt decisions.
+func TestDefaultCostsFiniteNonNegative(t *testing.T) {
+	m := Default()
+	for size := 1; size <= 1000; size += 7 {
+		checkFinite(t, m, float64(size))
+	}
+	for _, size := range []float64{0, 1, 10, 80, 1000, 5000} {
+		checkFinite(t, m, size)
+	}
+}
+
+// FuzzDefaultCostFinite is the property test in fuzz form: any size in
+// [0, 10000] must produce finite, non-negative costs from the defaults.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzDefaultCostFinite`
+// explores further.
+func FuzzDefaultCostFinite(f *testing.F) {
+	for _, seed := range []float64{0, 1, 10, 50, 80, 100, 555, 1000, 9999.5} {
+		f.Add(seed)
+	}
+	m := Default()
+	variants := m.Variants()
+	f.Fuzz(func(t *testing.T, size float64) {
+		if math.IsNaN(size) || size < 0 || size > 10000 {
+			t.Skip()
+		}
+		for _, v := range variants {
+			for _, op := range Ops() {
+				for _, dim := range Dimensions() {
+					if !m.Has(v, op, dim) {
+						continue
+					}
+					c := m.Cost(v, op, dim, size)
+					if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+						t.Fatalf("Cost(%s, %s, %s, %g) = %v: not finite non-negative", v, op, dim, size, c)
+					}
+				}
+			}
+		}
+	})
+}

@@ -7,315 +7,22 @@ import (
 	"repro/internal/polyfit"
 )
 
-// This file defines the analytic default models that ship with the
-// framework. The paper builds its models by benchmarking on the target
-// machine (Section 4.1); this repository supports that too (see builder.go
-// and cmd/perfmodel), but also provides hardware-independent defaults so the
-// selection engine behaves deterministically in tests and examples.
-//
-// Each variant gets a per-operation analytic cost function derived from its
-// data-structure mechanics:
-//
-//   - array scans cost a small constant per element (contiguous memory);
-//   - linked traversals cost ~3-4x that (pointer chasing);
-//   - chained hash operations pay an entry allocation on insert and a
-//     near-constant probe on lookup;
-//   - open addressing pays no per-entry allocation; its probe cost grows
-//     with the load-factor preset, and the high-load preset additionally
-//     degrades superlinearly with size (long probe chains interact badly
-//     with caches as tables outgrow them) — the effect behind the paper's
-//     multi-step Ralloc switching in Figure 5d/e;
-//   - adaptive variants follow their array form below the transition
-//     threshold and their hash form above it, plus a one-time transition
-//     cost (Figure 3).
-//
-// The functions are sampled at the Table 3 plan sizes and fitted with the
-// same least-squares cubic machinery the empirical builder uses, so default
-// and machine-built models are interchangeable everywhere.
-
-// costFn computes an analytic cost at collection size s.
-type costFn func(s float64) float64
-
-// analyticVariant bundles the cost functions of one variant.
-type analyticVariant struct {
-	id collections.VariantID
-	// time[op] in nanoseconds. populate covers the whole population to
-	// size s; the others are per call at size s.
-	time map[Op]costFn
-	// allocPopulate is the bytes allocated while populating to size s
-	// (including growth churn). Lookup-like ops allocate nothing.
-	allocPopulate costFn
-	// allocMiddle is bytes allocated per middle op (usually 0).
-	allocMiddle costFn
-	// footprint is retained bytes at size s.
-	footprint costFn
-}
-
-func lin(a, b float64) costFn { return func(s float64) float64 { return a + b*s } }
-
-func quad(a, b, c float64) costFn {
-	return func(s float64) float64 { return a + b*s + c*s*s }
-}
-
-// piecewise returns below(s) for s <= threshold and above(s) + once for
-// larger sizes (once being the amortized transition cost charge).
-func piecewise(threshold float64, below, above costFn, once costFn) costFn {
-	return func(s float64) float64 {
-		if s <= threshold {
-			return below(s)
-		}
-		return above(s) + once(s)
-	}
-}
-
-func zero(float64) float64 { return 0 }
-
-// analyticLists returns the analytic models of the list variants.
-func analyticLists() []analyticVariant {
-	array := analyticVariant{
-		id: collections.ArrayListID,
-		time: map[Op]costFn{
-			OpPopulate: lin(20, 4),
-			OpContains: lin(4, 0.45),
-			OpIterate:  lin(5, 0.35),
-			OpMiddle:   lin(15, 0.2),
-		},
-		allocPopulate: lin(48, 16), // append growth churn ~2x final 8B/elem
-		allocMiddle:   zero,
-		footprint:     lin(48, 10),
-	}
-	linked := analyticVariant{
-		id: collections.LinkedListID,
-		time: map[Op]costFn{
-			OpPopulate: lin(30, 14),
-			OpContains: lin(8, 1.6),
-			OpIterate:  lin(8, 1.3),
-			OpMiddle:   lin(25, 0.9),
-		},
-		allocPopulate: lin(32, 40), // one node allocation per element
-		allocMiddle:   lin(40, 0),
-		footprint:     lin(48, 40),
-	}
-	hashArray := analyticVariant{
-		id: collections.HashArrayListID,
-		time: map[Op]costFn{
-			// The bag insert dominates population: a hash-map write per
-			// element (~55ns on unboxed ints) against ~4ns for a plain
-			// append. Honest constants here are what keeps the framework
-			// from switching when the lookup volume cannot amortize the
-			// bag (Go scans are far cheaper than JDK Integer scans).
-			OpPopulate: lin(60, 55), // array append + bag insert
-			OpContains: lin(9, 0.002),
-			OpIterate:  lin(5, 0.35),
-			// NOTE: modeled identical to ArrayList. This reproduces the
-			// limitation the paper documents in the Figure 6 discussion:
-			// the model assumes positional removal costs the same on both
-			// variants, while the real implementation also updates the
-			// hash bag — causing the known wrong pick in the
-			// "search and remove" phase.
-			OpMiddle: lin(15, 0.2),
-		},
-		allocPopulate: lin(96, 64), // array churn + bag entries
-		allocMiddle:   zero,
-		footprint:     lin(96, 40),
-	}
-	thr := float64(collections.DefaultListThreshold)
-	adaptive := analyticVariant{
-		id: collections.AdaptiveListID,
-		time: map[Op]costFn{
-			OpPopulate: piecewise(thr,
-				lin(20, 4),
-				func(s float64) float64 { return 20 + 4*thr + 55*(s-thr) },
-				func(float64) float64 { return 45 * thr }, // bag build at transition
-			),
-			OpContains: piecewise(thr, lin(4, 0.45), lin(9, 0.002), zero),
-			OpIterate:  lin(5, 0.35),
-			OpMiddle:   lin(15, 0.2),
-		},
-		allocPopulate: piecewise(thr,
-			lin(48, 16),
-			func(s float64) float64 { return 48 + 16*thr + 64*(s-thr) },
-			func(float64) float64 { return 48 * thr },
-		),
-		allocMiddle: zero,
-		footprint:   piecewise(thr, lin(48, 10), lin(96, 40), zero),
-	}
-	return []analyticVariant{array, linked, hashArray, adaptive}
-}
-
-// analyticSets returns the analytic models of the set variants. Map models
-// reuse these shapes with slightly higher constants (two parallel arrays /
-// larger entries), see analyticMaps.
-func analyticSets() []analyticVariant {
-	chained := analyticVariant{
-		id: collections.HashSetID,
-		time: map[Op]costFn{
-			OpPopulate: lin(60, 32), // entry box allocation dominates
-			OpContains: lin(11, 0.003),
-			OpIterate:  lin(10, 1.1),
-			OpMiddle:   lin(45, 0.004),
-		},
-		allocPopulate: lin(128, 64), // 48B boxes + table churn
-		allocMiddle:   lin(48, 0),
-		footprint:     lin(96, 59), // boxes + bucket table
-	}
-	openFast := analyticVariant{
-		id: collections.OpenHashSetFastID,
-		time: map[Op]costFn{
-			OpPopulate: quad(50, 15, 0.004),
-			OpContains: lin(6, 0.001),
-			OpIterate:  lin(8, 0.6),
-			OpMiddle:   lin(26, 0.001),
-		},
-		// The 160B intercept models the minimum table allocation every
-		// open-addressing instance pays even when nearly empty — the
-		// fixed cost that makes array-backed (and adaptive) variants the
-		// memory choice for very small collections.
-		allocPopulate: lin(160, 36), // table churn at load 0.5
-		allocMiddle:   zero,
-		footprint:     lin(64, 27), // ~3 slots per element x 9B
-	}
-	openBalanced := analyticVariant{
-		id: collections.OpenHashSetBalID,
-		time: map[Op]costFn{
-			OpPopulate: quad(50, 14, 0.010),
-			OpContains: lin(7.5, 0.0018),
-			OpIterate:  lin(8, 0.55),
-			OpMiddle:   lin(28, 0.002),
-		},
-		// The balanced preset's population churn grows superlinearly at
-		// large sizes (more frequent tombstone-triggered rehashes near its
-		// 0.75 load ceiling). This is the calibrated analogue of the
-		// paper's Figure 5d/e observation that the Koloboke-like fast
-		// preset becomes the best allocation choice once sizes reach ~700,
-		// after the Eclipse-like preset dominated the mid range.
-		allocPopulate: quad(160, 24, 0.02),
-		allocMiddle:   zero,
-		footprint:     lin(64, 18),
-	}
-	openCompact := analyticVariant{
-		id: collections.OpenHashSetCmpID,
-		time: map[Op]costFn{
-			// High-load tables degrade superlinearly: long probe chains
-			// plus cache misses as the table outgrows cache levels. This
-			// is what eventually trips the Ralloc time-penalty criterion
-			// at medium sizes (Figure 5d/e).
-			OpPopulate: quad(50, 13, 0.05),
-			OpContains: lin(10, 0.02),
-			OpIterate:  lin(8, 0.5),
-			OpMiddle:   lin(34, 0.02),
-		},
-		allocPopulate: lin(160, 20),
-		allocMiddle:   zero,
-		footprint:     lin(64, 13),
-	}
-	linkedHash := analyticVariant{
-		id: collections.LinkedHashSetID,
-		time: map[Op]costFn{
-			OpPopulate: lin(70, 38),
-			OpContains: lin(11, 0.003),
-			OpIterate:  lin(9, 0.9),
-			OpMiddle:   lin(52, 0.004),
-		},
-		allocPopulate: lin(160, 80),
-		allocMiddle:   lin(64, 0),
-		footprint:     lin(96, 75),
-	}
-	arraySet := analyticVariant{
-		id: collections.ArraySetID,
-		time: map[Op]costFn{
-			OpPopulate: quad(20, 2, 0.225), // each Add scans for duplicates
-			OpContains: lin(2, 0.45),
-			OpIterate:  lin(5, 0.3),
-			OpMiddle:   lin(10, 0.45),
-		},
-		allocPopulate: lin(48, 16),
-		allocMiddle:   zero,
-		footprint:     lin(48, 10),
-	}
-	compactHash := analyticVariant{
-		id: collections.CompactHashSetID,
-		time: map[Op]costFn{
-			// The dense variant's extra indirection and swap-remove
-			// bookkeeping degrade steeply at large sizes, confining its
-			// competitiveness to the small range (as the paper's VLSI
-			// variant's byte-serialization overhead does).
-			OpPopulate: quad(55, 14, 0.055),
-			OpContains: lin(9, 0.004),
-			OpIterate:  lin(6, 0.35), // dense iteration is the strength
-			OpMiddle:   lin(40, 0.006),
-		},
-		allocPopulate: lin(180, 26),
-		allocMiddle:   zero,
-		footprint:     lin(72, 20),
-	}
-	thr := float64(collections.DefaultSetThreshold)
-	adaptive := analyticVariant{
-		id: collections.AdaptiveSetID,
-		time: map[Op]costFn{
-			OpPopulate: piecewise(thr,
-				quad(20, 2, 0.225),
-				func(s float64) float64 { return 20 + 2*thr + 0.225*thr*thr + 16*(s-thr) },
-				func(float64) float64 { return 16 * thr }, // reinsertion at transition
-			),
-			OpContains: piecewise(thr, lin(2, 0.45), lin(6, 0.001), zero),
-			OpIterate:  piecewise(thr, lin(5, 0.3), lin(8, 0.6), zero),
-			OpMiddle:   piecewise(thr, lin(10, 0.45), lin(26, 0.001), zero),
-		},
-		allocPopulate: piecewise(thr,
-			lin(48, 16),
-			func(s float64) float64 { return 48 + 16*thr + 36*(s-thr) },
-			func(float64) float64 { return 160 + 36*thr }, // table + reinsertion
-		),
-		allocMiddle: zero,
-		footprint:   piecewise(thr, lin(48, 10), lin(64, 27), zero),
-	}
-	return []analyticVariant{
-		chained, openFast, openBalanced, openCompact,
-		linkedHash, arraySet, compactHash, adaptive,
-	}
-}
-
-// analyticMaps derives map models from the set shapes: keys plus values
-// roughly double the moved bytes and the entry sizes.
-func analyticMaps() []analyticVariant {
-	sets := analyticSets()
-	setIDToMapID := map[collections.VariantID]collections.VariantID{
-		collections.HashSetID:         collections.HashMapID,
-		collections.OpenHashSetFastID: collections.OpenHashMapFastID,
-		collections.OpenHashSetBalID:  collections.OpenHashMapBalID,
-		collections.OpenHashSetCmpID:  collections.OpenHashMapCmpID,
-		collections.LinkedHashSetID:   collections.LinkedHashMapID,
-		collections.ArraySetID:        collections.ArrayMapID,
-		collections.CompactHashSetID:  collections.CompactHashMapID,
-		collections.AdaptiveSetID:     collections.AdaptiveMapID,
-	}
-	scaleTime := 1.15 // extra value handling per op
-	scaleSpace := 1.8 // value array roughly doubles space
-	out := make([]analyticVariant, 0, len(sets))
-	for _, sv := range sets {
-		sv := sv
-		mv := analyticVariant{
-			id:   setIDToMapID[sv.id],
-			time: make(map[Op]costFn, len(sv.time)),
-		}
-		for op, fn := range sv.time {
-			fn := fn
-			mv.time[op] = func(s float64) float64 { return scaleTime * fn(s) }
-		}
-		ap, am, fp := sv.allocPopulate, sv.allocMiddle, sv.footprint
-		mv.allocPopulate = func(s float64) float64 { return scaleSpace * ap(s) }
-		mv.allocMiddle = func(s float64) float64 { return scaleSpace * am(s) }
-		mv.footprint = func(s float64) float64 { return scaleSpace * fp(s) }
-		out = append(out, mv)
-	}
-	return out
-}
+// This file fits the analytic default models that ship with the framework.
+// The cost functions themselves live on the variant catalog
+// (collections.Entry.Analytic, see collections/catalog_models.go): the paper
+// builds its models by benchmarking on the target machine (Section 4.1) and
+// this repository supports that too (builder.go, cmd/perfmodel), but
+// hardware-independent defaults keep the selection engine deterministic in
+// tests and examples. Default samples each catalog entry's analytic
+// functions at the Table 3 plan sizes and fits them with the same
+// least-squares cubic machinery the empirical builder uses, so default and
+// machine-built models are interchangeable everywhere — including for
+// user-registered variants carrying a collections.WithAnalytic model.
 
 // fitAnalytic samples fn at the plan sizes and fits the plan-degree
 // polynomial, panicking on failure (defaults are static data; a failure is
 // a programming error).
-func fitAnalytic(fn costFn, plan Plan) polyfit.Poly {
+func fitAnalytic(fn collections.CostFn, plan Plan) polyfit.Poly {
 	xs := make([]float64, len(plan.Sizes))
 	ys := make([]float64, len(plan.Sizes))
 	for i, s := range plan.Sizes {
@@ -331,7 +38,7 @@ func fitAnalytic(fn costFn, plan Plan) polyfit.Poly {
 
 // fitSubset fits fn over the plan sizes selected by keep, degrading the
 // polynomial degree when too few points remain.
-func fitSubset(fn costFn, plan Plan, keep func(int) bool) polyfit.Poly {
+func fitSubset(fn collections.CostFn, plan Plan, keep func(int) bool) polyfit.Poly {
 	var xs, ys []float64
 	for _, s := range plan.Sizes {
 		if keep(s) {
@@ -353,38 +60,24 @@ func fitSubset(fn costFn, plan Plan, keep func(int) bool) polyfit.Poly {
 	return p
 }
 
-// adaptiveThresholdOf returns the transition threshold of an adaptive
-// variant (the breakpoint of its piecewise cost model).
-func adaptiveThresholdOf(id collections.VariantID) float64 {
-	switch id {
-	case collections.AdaptiveListID:
-		return collections.DefaultListThreshold
-	case collections.AdaptiveSetID:
-		return collections.DefaultSetThreshold
-	case collections.AdaptiveMapID:
-		return collections.DefaultMapThreshold
-	}
-	return 0
-}
-
 // setCurves stores fn's fit for one (variant, op, dim): a single fit for
 // ordinary variants, a two-regime piecewise fit at the transition threshold
 // for adaptive ones.
-func setCurves(m *Models, id collections.VariantID, op Op, dim Dimension, fn costFn, plan Plan) {
+func setCurves(m *Models, id collections.VariantID, op Op, dim Dimension, fn collections.CostFn, plan Plan) {
 	if !collections.IsAdaptive(id) {
 		m.Set(id, op, dim, fitAnalytic(fn, plan))
 		return
 	}
-	thr := adaptiveThresholdOf(id)
+	thr := float64(collections.AdaptiveThresholdOf(id))
 	below := fitSubset(fn, plan, func(s int) bool { return float64(s) <= thr })
 	above := fitSubset(fn, plan, func(s int) bool { return float64(s) > thr })
 	m.SetPiecewise(id, op, dim, thr, below, above)
 }
 
-// Default returns the analytic default models for every variant in the
-// registry, fitted over the Table 3 plan sizes with cubic polynomials.
-// The result is freshly built on each call; callers typically build it once
-// and share it (reads are concurrency-safe).
+// Default returns the analytic default models for every catalog variant
+// carrying an analytic model, fitted over the Table 3 plan sizes with cubic
+// polynomials. The result is freshly built on each call; callers typically
+// build it once and share it (reads are concurrency-safe).
 func Default() *Models {
 	return DefaultDegree(DefaultPlan().Degree)
 }
@@ -403,21 +96,22 @@ func DefaultDegree(degree int) *Models {
 	small := []int{20, 30, 40, 60, 70, 80}
 	plan.Sizes = append(append([]int(nil), small...), plan.Sizes...)
 	m := NewModels()
-	all := analyticLists()
-	all = append(all, analyticSets()...)
-	all = append(all, analyticMaps()...)
-	all = append(all, analyticExtensionSets()...)
-	all = append(all, analyticExtensionMaps()...)
-	for _, av := range all {
-		for op, fn := range av.time {
-			setCurves(m, av.id, op, DimTimeNS, fn, plan)
+	zero := func(float64) float64 { return 0 }
+	for _, e := range collections.Entries() {
+		av := e.Analytic
+		if av == nil {
+			continue
 		}
-		setCurves(m, av.id, OpPopulate, DimAllocB, av.allocPopulate, plan)
-		setCurves(m, av.id, OpMiddle, DimAllocB, av.allocMiddle, plan)
-		setCurves(m, av.id, OpContains, DimAllocB, zero, plan)
-		setCurves(m, av.id, OpIterate, DimAllocB, zero, plan)
+		id := e.Info.ID
+		for op, fn := range av.Time {
+			setCurves(m, id, Op(op), DimTimeNS, fn, plan)
+		}
+		setCurves(m, id, OpPopulate, DimAllocB, av.AllocPopulate, plan)
+		setCurves(m, id, OpMiddle, DimAllocB, av.AllocMiddle, plan)
+		setCurves(m, id, OpContains, DimAllocB, zero, plan)
+		setCurves(m, id, OpIterate, DimAllocB, zero, plan)
 		for _, op := range Ops() {
-			setCurves(m, av.id, op, DimFootprint, av.footprint, plan)
+			setCurves(m, id, op, DimFootprint, av.Footprint, plan)
 		}
 	}
 	SynthesizeEnergy(m)
@@ -427,33 +121,27 @@ func DefaultDegree(degree int) *Models {
 // AnalyticCost evaluates the raw (un-fitted) analytic cost function for a
 // variant, used by tests to bound the fit error of Default.
 func AnalyticCost(v collections.VariantID, op Op, dim Dimension, s float64) (float64, bool) {
-	all := analyticLists()
-	all = append(all, analyticSets()...)
-	all = append(all, analyticMaps()...)
-	all = append(all, analyticExtensionSets()...)
-	all = append(all, analyticExtensionMaps()...)
-	for _, av := range all {
-		if av.id != v {
-			continue
-		}
-		switch dim {
-		case DimTimeNS:
-			if fn, ok := av.time[op]; ok {
-				return fn(s), true
-			}
-		case DimAllocB:
-			switch op {
-			case OpPopulate:
-				return av.allocPopulate(s), true
-			case OpMiddle:
-				return av.allocMiddle(s), true
-			default:
-				return 0, true
-			}
-		case DimFootprint:
-			return av.footprint(s), true
-		}
+	e, ok := collections.EntryOf(v)
+	if !ok || e.Analytic == nil {
 		return 0, false
+	}
+	av := e.Analytic
+	switch dim {
+	case DimTimeNS:
+		if fn, ok := av.Time[string(op)]; ok {
+			return fn(s), true
+		}
+	case DimAllocB:
+		switch op {
+		case OpPopulate:
+			return av.AllocPopulate(s), true
+		case OpMiddle:
+			return av.AllocMiddle(s), true
+		default:
+			return 0, true
+		}
+	case DimFootprint:
+		return av.Footprint(s), true
 	}
 	return 0, false
 }

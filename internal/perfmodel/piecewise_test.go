@@ -153,15 +153,15 @@ func TestEnergySynthesisPiecewise(t *testing.T) {
 }
 
 func TestAdaptiveThresholdOf(t *testing.T) {
-	cases := map[collections.VariantID]float64{
+	cases := map[collections.VariantID]int64{
 		collections.AdaptiveListID: 80,
 		collections.AdaptiveSetID:  40,
 		collections.AdaptiveMapID:  50,
 		collections.ArrayListID:    0,
 	}
 	for id, want := range cases {
-		if got := adaptiveThresholdOf(id); got != want {
-			t.Errorf("adaptiveThresholdOf(%s) = %g, want %g", id, got, want)
+		if got := collections.AdaptiveThresholdOf(id); got != want {
+			t.Errorf("AdaptiveThresholdOf(%s) = %d, want %d", id, got, want)
 		}
 	}
 }
