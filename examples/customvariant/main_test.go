@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/collections"
 	"repro/internal/core"
 	"repro/internal/perfmodel"
@@ -79,6 +80,36 @@ func TestCustomVariantInCatalog(t *testing.T) {
 
 	if _, ok := collections.BenchTargetFor(BitSetID); !ok {
 		t.Fatal("set/bitset has no benchmark target")
+	}
+}
+
+// TestCustomVariantChecked pins that a user-registered variant is pulled
+// into the differential checker automatically: check.Harnesses enumerates
+// the live catalog, so registering set/bitset in init() is all it takes for
+// the oracle suite to verify it against the reference model.
+func TestCustomVariantChecked(t *testing.T) {
+	hs, uncovered := check.Harnesses()
+	for _, id := range uncovered {
+		if id == BitSetID {
+			t.Fatal("set/bitset registered but not resolvable by the checker")
+		}
+	}
+	var h *check.Harness
+	for i := range hs {
+		if hs[i].ID == BitSetID {
+			h = &hs[i]
+			break
+		}
+	}
+	if h == nil {
+		t.Fatal("set/bitset missing from check.Harnesses()")
+	}
+	for _, p := range []check.Profile{check.Mixed, check.Growth} {
+		for seed := int64(1); seed <= 3; seed++ {
+			if d := h.Check(seed, 400, p); d != nil {
+				t.Errorf("%v\nrepro:\n%s", d, d.Repro())
+			}
+		}
 	}
 }
 

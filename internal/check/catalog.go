@@ -1,0 +1,90 @@
+package check
+
+import (
+	"repro/internal/collections"
+	"repro/internal/obs"
+)
+
+// Harnesses enumerates the current catalog snapshot: one harness per entry,
+// instantiated at int elements/keys through the collections.Int*Factory
+// resolvers. Entries that cannot be resolved at int (a custom variant
+// registered only for another type) are returned as uncovered — the coverage
+// test fails on a non-empty second return, so every future RegisterXVariant
+// is pulled into differential checking automatically.
+func Harnesses() ([]Harness, []collections.VariantID) {
+	var hs []Harness
+	var uncovered []collections.VariantID
+	for _, e := range collections.Entries() {
+		id := e.Info.ID
+		switch e.Info.Abstraction {
+		case collections.ListAbstraction:
+			if f, ok := collections.IntListFactory(id); ok {
+				hs = append(hs, NewListHarness(id, f))
+				continue
+			}
+		case collections.SetAbstraction:
+			if f, ok := collections.IntSetFactory(id); ok {
+				hs = append(hs, NewSetHarness(id, f))
+				continue
+			}
+		case collections.MapAbstraction:
+			if f, ok := collections.IntMapFactory(id); ok {
+				hs = append(hs, NewMapHarness(id, f))
+				continue
+			}
+		}
+		uncovered = append(uncovered, id)
+	}
+	return hs, uncovered
+}
+
+// Config parameterizes a catalog-wide differential run.
+type Config struct {
+	// Seeds for the op generator; defaults to {1, 2}.
+	Seeds []int64
+	// Ops per run; defaults to 400.
+	Ops int
+	// Profiles to run each seed under; defaults to {Mixed, Growth}.
+	Profiles []Profile
+	// Sink receives CheckCompleted/CheckDivergence events; nil discards.
+	Sink obs.Sink
+}
+
+// CheckCatalog runs every catalog harness against every seed × profile and
+// returns the divergences found (shrunk to minimal sequences). Variants the
+// catalog carries but the checker cannot instantiate are NOT silently
+// skipped here forever — Harnesses' uncovered list is pinned empty by the
+// coverage test.
+func CheckCatalog(cfg Config) []*Divergence {
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []int64{1, 2}
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 400
+	}
+	if len(cfg.Profiles) == 0 {
+		cfg.Profiles = []Profile{Mixed, Growth}
+	}
+	emit := func(e obs.Event) {
+		if cfg.Sink != nil {
+			cfg.Sink.Emit(e)
+		}
+	}
+	hs, _ := Harnesses()
+	var divs []*Divergence
+	for _, h := range hs {
+		for _, seed := range cfg.Seeds {
+			for _, p := range cfg.Profiles {
+				d := h.Check(seed, cfg.Ops, p)
+				emit(obs.CheckCompleted{Variant: string(h.ID), Abstraction: string(h.Abstraction),
+					Seed: seed, Ops: cfg.Ops, Diverged: d != nil})
+				if d != nil {
+					divs = append(divs, d)
+					emit(obs.CheckDivergence{Variant: string(h.ID), Abstraction: string(h.Abstraction),
+						Seed: seed, OpIndex: d.OpIndex, Ops: len(d.Ops), Detail: d.Detail})
+				}
+			}
+		}
+	}
+	return divs
+}

@@ -1,0 +1,50 @@
+// Package check is the differential oracle checker of the variant catalog.
+//
+// CollectionSwitch's selection engine may hand a caller any candidate variant
+// and switch it mid-run, so every variant of an abstraction must be
+// behaviorally interchangeable — a semantic divergence between two list
+// variants is silent data corruption, not a visible failure. This package
+// proves interchangeability mechanically instead of per-variant hand-written
+// tests: it replays randomized operation sequences against a catalog variant
+// and a reference oracle (a plain Go slice or map) in lockstep, comparing
+// every return value and re-checking standing invariants after each step:
+//
+//   - Len agrees with the oracle after every operation;
+//   - full iteration visits exactly Len elements and matches the oracle
+//     (exact order for lists, multiset equality for sets and maps);
+//   - early-stopped iteration makes exactly min(limit, Len) callbacks;
+//   - FootprintBytes stays positive and never shrinks across an operation
+//     that grew the collection;
+//   - adaptive variants report Transitioned() exactly when the maximum size
+//     since the last Clear exceeded their catalog threshold.
+//
+// Sequences are deterministic (seeded) or decoded from fuzz byte streams
+// (see DecodeOps and the Fuzz*Oracle targets). Failures shrink to a
+// 1-minimal reproducing sequence (Shrink) and print as runnable Go
+// (Divergence.Repro). Harnesses enumerates the catalog snapshot, so a
+// user-registered variant is pulled into checking automatically; the
+// concurrent wrappers additionally get hammered from N goroutines with
+// linearizability-lite assertions (HammerMap, HammerSet) under -race.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/collections"
+)
+
+// Divergence describes one point where a variant's observable behavior left
+// the oracle's.
+type Divergence struct {
+	Variant     collections.VariantID
+	Abstraction collections.Abstraction
+	Seed        int64 // 0 when the ops came from fuzz input
+	Ops         []Op  // the (possibly shrunk) op sequence
+	OpIndex     int   // index of the diverging op; len(Ops) means the final iteration check
+	Detail      string
+}
+
+// Error renders the divergence as a one-line summary.
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("%s diverged at op %d/%d: %s", d.Variant, d.OpIndex, len(d.Ops), d.Detail)
+}

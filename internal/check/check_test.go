@@ -1,0 +1,239 @@
+package check
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/collections"
+	"repro/internal/obs"
+)
+
+// TestDifferentialCatalog is the differential suite: every catalog variant ×
+// seeds × profiles against the oracle. Any divergence fails the build (CI
+// runs this under go test and again under -race).
+func TestDifferentialCatalog(t *testing.T) {
+	divs := CheckCatalog(Config{Seeds: []int64{1, 2, 3}, Ops: 400})
+	for _, d := range divs {
+		t.Errorf("%v\nrepro:\n%s", d, d.Repro())
+	}
+}
+
+// TestCheckerCoversCatalog diffs the checked-variant set against the catalog
+// snapshot: every entry — core, adaptive, sorted, concurrent, custom — must
+// resolve to a harness, so a future RegisterXVariant is automatically pulled
+// into checking (or fails here if it cannot be instantiated at int).
+func TestCheckerCoversCatalog(t *testing.T) {
+	hs, uncovered := Harnesses()
+	if len(uncovered) != 0 {
+		t.Fatalf("catalog entries with no checker harness: %v", uncovered)
+	}
+	checked := make(map[collections.VariantID]bool, len(hs))
+	for _, h := range hs {
+		checked[h.ID] = true
+	}
+	entries := collections.Entries()
+	if len(entries) < 29 {
+		t.Fatalf("catalog unexpectedly small: %d entries", len(entries))
+	}
+	if len(hs) != len(entries) {
+		t.Fatalf("%d harnesses for %d catalog entries", len(hs), len(entries))
+	}
+	for _, e := range entries {
+		if !checked[e.Info.ID] {
+			t.Errorf("catalog entry %s not covered by the checker", e.Info.ID)
+		}
+	}
+	// Adaptive variants must carry their catalog threshold so the
+	// transition-transparency invariant is armed.
+	armed := 0
+	for _, h := range hs {
+		if h.Threshold > 0 {
+			armed++
+		}
+	}
+	if armed != 3 {
+		t.Errorf("%d harnesses have adaptive thresholds, want 3", armed)
+	}
+}
+
+// collectSink gathers events for assertions.
+type collectSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *collectSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func TestCheckCatalogEmitsEvents(t *testing.T) {
+	sink := &collectSink{}
+	divs := CheckCatalog(Config{Seeds: []int64{1}, Ops: 100, Profiles: []Profile{Mixed}, Sink: sink})
+	if len(divs) != 0 {
+		t.Fatalf("unexpected divergences: %v", divs)
+	}
+	hs, _ := Harnesses()
+	completed := 0
+	for _, e := range sink.events {
+		c, ok := e.(obs.CheckCompleted)
+		if !ok {
+			t.Fatalf("unexpected event %T", e)
+		}
+		if c.Diverged {
+			t.Errorf("event reports divergence for %s", c.Variant)
+		}
+		completed++
+	}
+	if completed != len(hs) {
+		t.Errorf("%d check_completed events for %d harnesses", completed, len(hs))
+	}
+}
+
+// buggyList wraps a correct list but removes the LAST occurrence instead of
+// the first — the seeded synthetic bug the shrinker test hunts.
+type buggyList struct{ collections.List[int] }
+
+func (b *buggyList) Remove(v int) bool {
+	last := -1
+	for i := 0; i < b.List.Len(); i++ {
+		if b.List.Get(i) == v {
+			last = i
+		}
+	}
+	if last < 0 {
+		return false
+	}
+	b.List.RemoveAt(last)
+	return true
+}
+
+// buggyMap wraps a correct map but loses the old value on Remove.
+type buggyMap struct{ collections.Map[int, int] }
+
+func (b *buggyMap) Remove(k int) (int, bool) {
+	_, ok := b.Map.Remove(k)
+	return 0, ok
+}
+
+func TestShrinkProducesMinimalListRepro(t *testing.T) {
+	h := NewListHarness("list/buggy-last-remove", func(int) collections.List[int] {
+		return &buggyList{collections.NewArrayList[int]()}
+	})
+	var ops []Op
+	var d *Divergence
+	for seed := int64(1); seed <= 20 && d == nil; seed++ {
+		ops = GenOps(collections.ListAbstraction, seed, 400, Mixed)
+		d = h.RunOps(ops)
+	}
+	if d == nil {
+		t.Fatal("synthetic last-occurrence-Remove bug never triggered")
+	}
+	shrunk, sd := Shrink(ops, h.RunOps)
+	if sd == nil {
+		t.Fatal("shrunk sequence no longer fails")
+	}
+	// The global minimum for this bug is 4 ops: Add v, Add w, Add v,
+	// Remove v (the misordering shows up in the final iteration check).
+	if len(shrunk) > 4 {
+		t.Errorf("shrunk to %d ops, want <= 4:\n%s", len(shrunk), sd.Repro())
+	}
+	// 1-minimality: removing any single op must make the sequence pass.
+	for i := range shrunk {
+		cand := append(append([]Op(nil), shrunk[:i]...), shrunk[i+1:]...)
+		if h.RunOps(cand) != nil {
+			t.Errorf("not 1-minimal: op %d removable", i)
+		}
+	}
+	repro := sd.Repro()
+	for _, want := range []string{"list/buggy-last-remove", "c.Remove(", "c.Add("} {
+		if !strings.Contains(repro, want) {
+			t.Errorf("repro missing %q:\n%s", want, repro)
+		}
+	}
+}
+
+func TestShrinkProducesMinimalMapRepro(t *testing.T) {
+	h := NewMapHarness("map/buggy-remove-old", func(int) collections.Map[int, int] {
+		return &buggyMap{collections.NewHashMap[int, int]()}
+	})
+	var ops []Op
+	var d *Divergence
+	for seed := int64(1); seed <= 20 && d == nil; seed++ {
+		ops = GenOps(collections.MapAbstraction, seed, 400, Mixed)
+		d = h.RunOps(ops)
+	}
+	if d == nil {
+		t.Fatal("synthetic Remove-old-value bug never triggered")
+	}
+	shrunk, sd := Shrink(ops, h.RunOps)
+	if sd == nil {
+		t.Fatal("shrunk sequence no longer fails")
+	}
+	// Global minimum: Put(k, v != 0), Remove(k).
+	if len(shrunk) != 2 {
+		t.Errorf("shrunk to %d ops, want 2:\n%s", len(shrunk), sd.Repro())
+	}
+	if !strings.Contains(sd.Repro(), "c.Put(") {
+		t.Errorf("repro missing the Put:\n%s", sd.Repro())
+	}
+}
+
+// TestShrinkPassesThroughGreenRuns pins that Shrink reports nil for a
+// sequence that does not fail.
+func TestShrinkPassesThroughGreenRuns(t *testing.T) {
+	h := NewListHarness(collections.ArrayListID, func(c int) collections.List[int] {
+		return collections.NewArrayListCap[int](c)
+	})
+	ops := GenOps(collections.ListAbstraction, 1, 50, Mixed)
+	got, d := Shrink(ops, h.RunOps)
+	if d != nil {
+		t.Fatalf("green run reported divergence: %v", d)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("green run was shrunk to %d ops", len(got))
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins that the fuzz byte codec inverts the
+// generator output, so corpus seeds replay the exact generated sequences.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, a := range []collections.Abstraction{
+		collections.ListAbstraction, collections.SetAbstraction, collections.MapAbstraction,
+	} {
+		ops := GenOps(a, 5, 200, Mixed)
+		decoded := DecodeOps(a, EncodeOps(a, ops))
+		if len(decoded) != len(ops) {
+			t.Fatalf("%s: round trip length %d, want %d", a, len(decoded), len(ops))
+		}
+		for i := range ops {
+			if decoded[i] != ops[i] {
+				t.Fatalf("%s: op %d round-tripped to %+v, want %+v", a, i, decoded[i], ops[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveTransitionInvariantArmed pins that the checker would actually
+// catch a broken transition: a harness with a wrong threshold must diverge
+// on a growth run.
+func TestAdaptiveTransitionInvariantArmed(t *testing.T) {
+	h := NewListHarness(collections.AdaptiveListID, func(int) collections.List[int] {
+		return collections.NewAdaptiveList[int]()
+	})
+	if h.Threshold != collections.DefaultListThreshold {
+		t.Fatalf("threshold = %d, want %d", h.Threshold, collections.DefaultListThreshold)
+	}
+	// Sabotage the threshold: the real variant transitions at 80, so
+	// claiming 200 must trip the transparency invariant once size exceeds 80.
+	h.Threshold = 200
+	d := h.Check(1, 600, Growth)
+	if d == nil {
+		t.Fatal("sabotaged adaptive threshold not detected")
+	}
+	if !strings.Contains(d.Detail, "Transitioned") {
+		t.Fatalf("unexpected detail: %s", d.Detail)
+	}
+}

@@ -1,0 +1,194 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/collections"
+)
+
+// The concurrent mode: instead of a lockstep oracle (meaningless under
+// interleaving), the hammers assert linearizability-lite properties that
+// hold for any correct mutex-guarded implementation, and full oracle-style
+// self-consistency once the goroutines have quiesced. Run these under
+// -race: the assertions catch lost updates and phantom values, the race
+// detector catches unsynchronized access.
+
+// HammerConfig parameterizes the concurrent checkers.
+type HammerConfig struct {
+	Goroutines int   // default 8
+	OpsPerG    int   // default 5000
+	Keys       int   // key universe size, default 64
+	Seed       int64 // default 1
+}
+
+func (c *HammerConfig) defaults() {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 8
+	}
+	if c.OpsPerG <= 0 {
+		c.OpsPerG = 5000
+	}
+	if c.Keys <= 0 {
+		c.Keys = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// HammerMap drives a concurrency-safe map from N goroutines. The per-key
+// assertion is linearizability-lite: every value observed for a key must be
+// one that was actually Put for that key (values are globally unique and
+// recorded before the Put, so a concurrent observer can always validate).
+// After quiescing, iteration, Get and Len must agree with each other.
+func HammerMap(factory func(int) collections.Map[int, int], cfg HammerConfig) error {
+	cfg.defaults()
+	m := factory(0)
+	written := make([]struct {
+		mu   sync.Mutex
+		vals map[int]bool
+	}, cfg.Keys)
+	for i := range written {
+		written[i].vals = make(map[int]bool)
+	}
+	record := func(k, v int) {
+		written[k].mu.Lock()
+		written[k].vals[v] = true
+		written[k].mu.Unlock()
+	}
+	wasWritten := func(k, v int) bool {
+		written[k].mu.Lock()
+		defer written[k].mu.Unlock()
+		return written[k].vals[v]
+	}
+	errs := make(chan error, cfg.Goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(gid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(gid)))
+			for i := 0; i < cfg.OpsPerG; i++ {
+				k := rng.Intn(cfg.Keys)
+				switch r := rng.Intn(100); {
+				case r < 50:
+					v := gid*cfg.OpsPerG + i // globally unique value
+					record(k, v)             // before the Put, see above
+					m.Put(k, v)
+				case r < 75:
+					if v, ok := m.Get(k); ok && !wasWritten(k, v) {
+						errs <- fmt.Errorf("Get(%d) observed %d, never Put for that key", k, v)
+						return
+					}
+				case r < 90:
+					m.Remove(k)
+				default:
+					m.ContainsKey(k)
+					m.Len() // approximate under mutation; value unasserted
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	// Quiesced self-consistency.
+	count := 0
+	var ferr error
+	m.ForEach(func(k, v int) bool {
+		count++
+		if k < 0 || k >= cfg.Keys || !wasWritten(k, v) {
+			ferr = fmt.Errorf("iteration observed (%d, %d), never Put", k, v)
+			return false
+		}
+		if got, ok := m.Get(k); !ok || got != v {
+			ferr = fmt.Errorf("Get(%d) = %d,%v disagrees with iterated value %d", k, got, ok, v)
+			return false
+		}
+		return true
+	})
+	if ferr != nil {
+		return ferr
+	}
+	if got := m.Len(); got != count {
+		return fmt.Errorf("quiesced Len = %d, iteration count %d", got, count)
+	}
+	return nil
+}
+
+// HammerSet drives a concurrency-safe set. Each key has one owner goroutine
+// (key mod Goroutines) that asserts its own Add/Remove return values against
+// local bookkeeping — no other goroutine mutates that key, so the owner's
+// view is authoritative — while the others probe Contains and iterate
+// concurrently. Quiesced membership must equal the owners' final states.
+func HammerSet(factory func(int) collections.Set[int], cfg HammerConfig) error {
+	cfg.defaults()
+	s := factory(0)
+	expected := make([]map[int]bool, cfg.Goroutines)
+	for g := range expected {
+		expected[g] = make(map[int]bool)
+	}
+	errs := make(chan error, cfg.Goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(gid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(gid)))
+			mine := expected[gid]
+			for i := 0; i < cfg.OpsPerG; i++ {
+				k := rng.Intn(cfg.Keys)
+				owned := k%cfg.Goroutines == gid
+				switch r := rng.Intn(100); {
+				case owned && r < 55:
+					// Add must report a change exactly when the owner knows
+					// the key absent.
+					if changed := s.Add(k); changed == mine[k] {
+						errs <- fmt.Errorf("Add(%d) = %v with owner-known membership %v", k, changed, mine[k])
+						return
+					}
+					mine[k] = true
+				case owned && r < 80:
+					if changed := s.Remove(k); changed != mine[k] {
+						errs <- fmt.Errorf("Remove(%d) = %v with owner-known membership %v", k, changed, mine[k])
+						return
+					}
+					mine[k] = false
+				case r < 90:
+					s.Contains(k) // cross-owner probe: unasserted, must be race-free
+				default:
+					n := 0
+					s.ForEach(func(int) bool { n++; return n < 4 })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	want := 0
+	for k := 0; k < cfg.Keys; k++ {
+		exp := expected[k%cfg.Goroutines][k]
+		if exp {
+			want++
+		}
+		if got := s.Contains(k); got != exp {
+			return fmt.Errorf("quiesced Contains(%d) = %v, owner expects %v", k, got, exp)
+		}
+	}
+	if got := s.Len(); got != want {
+		return fmt.Errorf("quiesced Len = %d, owners expect %d", got, want)
+	}
+	count := 0
+	s.ForEach(func(int) bool { count++; return true })
+	if count != want {
+		return fmt.Errorf("quiesced iteration count = %d, owners expect %d", count, want)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collections"
+)
+
+// The hammer suite runs over every concurrent catalog variant. Under the CI
+// race job these same tests execute with -race, which upgrades them from
+// assertion checks to full data-race detection.
+
+func hammerOps(t *testing.T) int {
+	if testing.Short() {
+		return 1500
+	}
+	_ = t
+	return 5000
+}
+
+func TestHammerConcurrentMaps(t *testing.T) {
+	for _, id := range []collections.VariantID{collections.SyncMapID, collections.ShardedMapID} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			t.Parallel()
+			f, ok := collections.IntMapFactory(id)
+			if !ok {
+				t.Fatalf("no int factory for %s", id)
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				if err := HammerMap(f, HammerConfig{Seed: seed, OpsPerG: hammerOps(t)}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestHammerSyncSet(t *testing.T) {
+	f, ok := collections.IntSetFactory(collections.SyncSetID)
+	if !ok {
+		t.Fatal("no int factory for set/sync")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := HammerSet(f, HammerConfig{Seed: seed, OpsPerG: hammerOps(t)}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// misroutedMap is a deliberately broken "concurrent" map: every 200th value
+// is stored under the neighboring key — the shape of a sharding bug. The
+// per-key value-uniqueness rule must catch the foreign value on observation
+// or at quiesce — proof the linearizability-lite assertions have teeth.
+type misroutedMap struct {
+	collections.Map[int, int]
+	keys int
+}
+
+func (m *misroutedMap) Put(k, v int) (int, bool) {
+	if v%200 == 17 {
+		k = (k + 1) % m.keys
+	}
+	return m.Map.Put(k, v)
+}
+
+func TestHammerMapDetectsMisroutedWrites(t *testing.T) {
+	failed := false
+	for seed := int64(1); seed <= 5 && !failed; seed++ {
+		err := HammerMap(func(int) collections.Map[int, int] {
+			return &misroutedMap{Map: collections.NewSyncMap[int, int](0), keys: 64}
+		}, HammerConfig{Goroutines: 2, OpsPerG: 10000, Seed: seed})
+		failed = err != nil
+	}
+	if !failed {
+		t.Fatal("misrouted writes never detected")
+	}
+}
+
+// phantomMap invents values: Get returns v+1 for one key in a thousand.
+type phantomMap struct{ collections.Map[int, int] }
+
+func (m *phantomMap) Get(k int) (int, bool) {
+	v, ok := m.Map.Get(k)
+	if ok && k == 13 {
+		return v + 1, ok
+	}
+	return v, ok
+}
+
+func TestHammerMapDetectsPhantomValues(t *testing.T) {
+	err := HammerMap(func(int) collections.Map[int, int] {
+		return &phantomMap{collections.NewSyncMap[int, int](0)}
+	}, HammerConfig{Goroutines: 2, OpsPerG: 5000})
+	if err == nil {
+		t.Fatal("phantom value never detected")
+	}
+	if !strings.Contains(err.Error(), "never Put") && !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// brokenAddSet returns the wrong changed flag on re-Add.
+type brokenAddSet struct{ collections.Set[int] }
+
+func (s *brokenAddSet) Add(v int) bool {
+	s.Set.Add(v)
+	return true // claims a change even when v was present
+}
+
+func TestHammerSetDetectsWrongReturns(t *testing.T) {
+	err := HammerSet(func(int) collections.Set[int] {
+		return &brokenAddSet{collections.NewSyncSet[int](0)}
+	}, HammerConfig{Goroutines: 2, OpsPerG: 2000})
+	if err == nil {
+		t.Fatal("wrong Add return never detected")
+	}
+	if !strings.Contains(err.Error(), "Add(") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

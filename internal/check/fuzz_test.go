@@ -1,0 +1,62 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/collections"
+)
+
+// The native fuzz targets: each decodes the byte stream into an op sequence
+// and replays it against EVERY catalog variant of the abstraction, so one
+// interesting input probes the whole variant family at once. The corpus is
+// seeded with generator output (EncodeOps inverts DecodeOps), including
+// growth runs long enough to cross the adaptive transition thresholds.
+// CI runs each target for a short smoke budget; run locally with e.g.
+//
+//	go test ./internal/check -fuzz FuzzListOracle -fuzztime 60s
+
+func harnessesOf(a collections.Abstraction) []Harness {
+	hs, _ := Harnesses()
+	var out []Harness
+	for _, h := range hs {
+		if h.Abstraction == a {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func seedCorpus(f *testing.F, a collections.Abstraction) {
+	for _, seed := range []int64{1, 2} {
+		f.Add(EncodeOps(a, GenOps(a, seed, 60, Mixed)))
+		f.Add(EncodeOps(a, GenOps(a, seed, 150, Growth)))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 0, 0, 5, 0, 0})
+}
+
+func fuzzOracle(f *testing.F, a collections.Abstraction) {
+	seedCorpus(f, a)
+	hs := harnessesOf(a)
+	if len(hs) == 0 {
+		f.Fatal("no harnesses")
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := DecodeOps(a, data)
+		if len(ops) == 0 {
+			return
+		}
+		for _, h := range hs {
+			if d := h.RunOps(ops); d != nil {
+				if _, sd := Shrink(ops, h.RunOps); sd != nil {
+					d = sd
+				}
+				t.Fatalf("%v\nrepro:\n%s", d, d.Repro())
+			}
+		}
+	})
+}
+
+func FuzzListOracle(f *testing.F) { fuzzOracle(f, collections.ListAbstraction) }
+func FuzzSetOracle(f *testing.F)  { fuzzOracle(f, collections.SetAbstraction) }
+func FuzzMapOracle(f *testing.F)  { fuzzOracle(f, collections.MapAbstraction) }

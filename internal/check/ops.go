@@ -1,0 +1,155 @@
+package check
+
+import (
+	"math/rand"
+
+	"repro/internal/collections"
+)
+
+// OpCode enumerates the operations the checker can replay. The first block
+// is shared by all abstractions; the second is list-specific (positional).
+type OpCode uint8
+
+const (
+	OpAdd         OpCode = iota // list Add(V) / set Add(K) / map Put(K, V)
+	OpRemove                    // list Remove(V) / set Remove(K) / map Remove(K)
+	OpContains                  // list Contains(V)+IndexOf(V) / set Contains(K) / map Get(K)+ContainsKey(K)
+	OpLen                       // explicit Len probe (Len is also checked after every op)
+	OpClear                     // Clear
+	OpIterate                   // full ForEach, compared against the oracle
+	OpIterateStop               // ForEach stopped after 1+|K| mod 64 callbacks
+	OpInsert                    // list Insert(idx, V)
+	OpGet                       // list Get(idx)
+	OpSet                       // list Set(idx, V)
+	OpRemoveAt                  // list RemoveAt(idx)
+)
+
+// Op is one decoded operation. For sets and maps K is the key and V the
+// value; for lists V is the element and K the index seed of positional ops,
+// normalized into the valid range at apply time so every sequence is legal.
+type Op struct {
+	Code OpCode
+	K, V int
+}
+
+// listOpSet and kvOpSet are the per-abstraction op vocabularies; the byte
+// decoder maps any input byte onto them, so every fuzz input is a valid
+// sequence.
+var (
+	listOpSet = []OpCode{OpAdd, OpRemove, OpContains, OpLen, OpClear,
+		OpIterate, OpIterateStop, OpInsert, OpGet, OpSet, OpRemoveAt}
+	kvOpSet = []OpCode{OpAdd, OpRemove, OpContains, OpLen, OpClear,
+		OpIterate, OpIterateStop}
+)
+
+// The key universe: 64 values including negatives, small enough that random
+// sequences collide constantly (exercising duplicate/overwrite paths) and
+// wide enough to push the adaptive sets and maps past their transition
+// thresholds (40 and 50).
+const (
+	keyDomain = 64
+	keyMin    = -8
+)
+
+func opSetFor(a collections.Abstraction) []OpCode {
+	if a == collections.ListAbstraction {
+		return listOpSet
+	}
+	return kvOpSet
+}
+
+// DecodeOps turns a byte stream into an op sequence over the vocabulary of
+// abstraction a — three bytes per op — the front end of the fuzz targets.
+func DecodeOps(a collections.Abstraction, data []byte) []Op {
+	set := opSetFor(a)
+	var ops []Op
+	for i := 0; i+2 < len(data); i += 3 {
+		ops = append(ops, Op{
+			Code: set[int(data[i])%len(set)],
+			K:    int(data[i+1]%keyDomain) + keyMin,
+			V:    int(data[i+2]%keyDomain) + keyMin,
+		})
+	}
+	return ops
+}
+
+// EncodeOps is the inverse of DecodeOps for ops whose K and V lie in the key
+// domain (all generator output); it seeds the fuzz corpus.
+func EncodeOps(a collections.Abstraction, ops []Op) []byte {
+	set := opSetFor(a)
+	buf := make([]byte, 0, 3*len(ops))
+	for _, op := range ops {
+		ci := 0
+		for i, c := range set {
+			if c == op.Code {
+				ci = i
+				break
+			}
+		}
+		buf = append(buf, byte(ci), byte(op.K-keyMin), byte(op.V-keyMin))
+	}
+	return buf
+}
+
+// Profile selects the op mix of the seeded generator.
+type Profile int
+
+const (
+	// Mixed exercises every operation with light churn and occasional Clear.
+	Mixed Profile = iota
+	// Growth is add-heavy with no Clear, so adaptive variants reliably cross
+	// their transition threshold within a few hundred ops.
+	Growth
+)
+
+// GenOps generates n deterministic ops for abstraction a from seed.
+func GenOps(a collections.Abstraction, seed int64, n int, p Profile) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	isList := a == collections.ListAbstraction
+	pick := func() OpCode {
+		r := rng.Intn(100)
+		if p == Growth {
+			if r < 65 {
+				return OpAdd
+			}
+			if isList {
+				reads := []OpCode{OpContains, OpGet, OpSet, OpInsert, OpIterate, OpIterateStop, OpLen}
+				return reads[rng.Intn(len(reads))]
+			}
+			reads := []OpCode{OpContains, OpIterate, OpIterateStop, OpLen}
+			return reads[rng.Intn(len(reads))]
+		}
+		switch {
+		case r < 40:
+			return OpAdd
+		case r < 55:
+			if isList && r < 48 {
+				return OpRemoveAt
+			}
+			return OpRemove
+		case r < 75:
+			if isList && r < 65 {
+				return OpGet
+			}
+			return OpContains
+		case r < 83:
+			if isList {
+				return []OpCode{OpInsert, OpSet}[rng.Intn(2)]
+			}
+			return OpAdd
+		case r < 90:
+			return OpIterate
+		case r < 95:
+			return OpIterateStop
+		case r < 98:
+			return OpLen
+		default:
+			return OpClear
+		}
+	}
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Code: pick(), K: keyMin + rng.Intn(keyDomain), V: keyMin + rng.Intn(keyDomain)}
+	}
+	return ops
+}

@@ -1,0 +1,87 @@
+package check
+
+// The reference oracles: the plainest possible Go implementations of the
+// three abstraction contracts. They are deliberately naive — a slice with
+// linear scans, native maps — so their behavior is beyond doubt; every
+// catalog variant is judged against them.
+
+// listOracle models List semantics on a bare slice.
+type listOracle struct{ elems []int }
+
+func (o *listOracle) add(v int) { o.elems = append(o.elems, v) }
+
+func (o *listOracle) insert(i, v int) {
+	o.elems = append(o.elems, 0)
+	copy(o.elems[i+1:], o.elems[i:])
+	o.elems[i] = v
+}
+
+func (o *listOracle) removeAt(i int) int {
+	v := o.elems[i]
+	o.elems = append(o.elems[:i], o.elems[i+1:]...)
+	return v
+}
+
+// remove deletes the first occurrence of v, per the List contract.
+func (o *listOracle) remove(v int) bool {
+	if i := o.indexOf(v); i >= 0 {
+		o.removeAt(i)
+		return true
+	}
+	return false
+}
+
+func (o *listOracle) indexOf(v int) int {
+	for i, e := range o.elems {
+		if e == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func (o *listOracle) clear() { o.elems = o.elems[:0] }
+
+// setOracle models Set semantics on a native map.
+type setOracle struct{ m map[int]struct{} }
+
+func newSetOracle() *setOracle { return &setOracle{m: make(map[int]struct{})} }
+
+func (o *setOracle) add(v int) bool {
+	if _, ok := o.m[v]; ok {
+		return false
+	}
+	o.m[v] = struct{}{}
+	return true
+}
+
+func (o *setOracle) remove(v int) bool {
+	if _, ok := o.m[v]; !ok {
+		return false
+	}
+	delete(o.m, v)
+	return true
+}
+
+func (o *setOracle) contains(v int) bool { _, ok := o.m[v]; return ok }
+func (o *setOracle) clear()              { clear(o.m) }
+
+// mapOracle models Map semantics on a native map.
+type mapOracle struct{ m map[int]int }
+
+func newMapOracle() *mapOracle { return &mapOracle{m: make(map[int]int)} }
+
+func (o *mapOracle) put(k, v int) (int, bool) {
+	old, ok := o.m[k]
+	o.m[k] = v
+	return old, ok
+}
+
+func (o *mapOracle) remove(k int) (int, bool) {
+	old, ok := o.m[k]
+	delete(o.m, k)
+	return old, ok
+}
+
+func (o *mapOracle) get(k int) (int, bool) { v, ok := o.m[k]; return v, ok }
+func (o *mapOracle) clear()                { clear(o.m) }

@@ -1,0 +1,379 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/collections"
+)
+
+// Harness couples one variant with the machinery to run differential
+// sequences against it. Exactly one of the three factories is set.
+type Harness struct {
+	ID          collections.VariantID
+	Abstraction collections.Abstraction
+	// Threshold is the adaptive transition size from the catalog (0 for
+	// non-adaptive variants); it drives the transition-transparency check.
+	Threshold int64
+
+	newList func(int) collections.List[int]
+	newSet  func(int) collections.Set[int]
+	newMap  func(int) collections.Map[int, int]
+}
+
+// NewListHarness builds a harness around a list factory. The adaptive
+// threshold is looked up in the catalog (0 for unregistered IDs).
+func NewListHarness(id collections.VariantID, factory func(int) collections.List[int]) Harness {
+	return Harness{ID: id, Abstraction: collections.ListAbstraction,
+		Threshold: collections.AdaptiveThresholdOf(id), newList: factory}
+}
+
+// NewSetHarness builds a harness around a set factory; see NewListHarness.
+func NewSetHarness(id collections.VariantID, factory func(int) collections.Set[int]) Harness {
+	return Harness{ID: id, Abstraction: collections.SetAbstraction,
+		Threshold: collections.AdaptiveThresholdOf(id), newSet: factory}
+}
+
+// NewMapHarness builds a harness around a map factory; see NewListHarness.
+func NewMapHarness(id collections.VariantID, factory func(int) collections.Map[int, int]) Harness {
+	return Harness{ID: id, Abstraction: collections.MapAbstraction,
+		Threshold: collections.AdaptiveThresholdOf(id), newMap: factory}
+}
+
+// RunOps replays ops against a fresh instance and the oracle in lockstep,
+// comparing every return value and re-checking the standing invariants after
+// each op; nil means no divergence.
+func (h Harness) RunOps(ops []Op) *Divergence {
+	switch {
+	case h.newList != nil:
+		return runList(h, ops)
+	case h.newSet != nil:
+		return runSet(h, ops)
+	default:
+		return runMap(h, ops)
+	}
+}
+
+// Check generates n ops from seed with profile p, replays them, and on
+// divergence shrinks to a 1-minimal failing sequence.
+func (h Harness) Check(seed int64, n int, p Profile) *Divergence {
+	d := h.RunOps(GenOps(h.Abstraction, seed, n, p))
+	if d == nil {
+		return nil
+	}
+	if _, sd := Shrink(d.Ops, h.RunOps); sd != nil {
+		d = sd
+	}
+	d.Seed = seed
+	return d
+}
+
+// idx maps an arbitrary index seed into [0, n).
+func idx(k, n int) int {
+	i := k % n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// runState carries the standing-invariant state threaded through one run.
+type runState struct {
+	maxSize       int // max oracle size since the last Clear
+	prevFootprint int
+}
+
+// invariants re-checks the standing invariants after one op: Len equality,
+// footprint positivity and growth-monotonicity, and adaptive-transition
+// transparency. grew reports whether the op strictly increased the oracle
+// size. It returns a non-empty detail string on violation.
+func (h Harness) invariants(c any, oracleLen int, grew bool, st *runState) string {
+	if got := c.(interface{ Len() int }).Len(); got != oracleLen {
+		return fmt.Sprintf("Len = %d, oracle %d", got, oracleLen)
+	}
+	if oracleLen > st.maxSize {
+		st.maxSize = oracleLen
+	}
+	if s, ok := c.(collections.Sizer); ok {
+		fp := s.FootprintBytes()
+		if fp <= 0 {
+			return fmt.Sprintf("FootprintBytes = %d, want positive", fp)
+		}
+		if grew && fp < st.prevFootprint {
+			return fmt.Sprintf("footprint shrank %d -> %d on a growing op (size %d)",
+				st.prevFootprint, fp, oracleLen)
+		}
+		st.prevFootprint = fp
+	}
+	if h.Threshold > 0 {
+		if a, ok := c.(collections.Adaptive); ok {
+			want := int64(st.maxSize) > h.Threshold
+			if got := a.Transitioned(); got != want {
+				return fmt.Sprintf("Transitioned() = %v with max size %d and threshold %d",
+					got, st.maxSize, h.Threshold)
+			}
+		}
+	}
+	return ""
+}
+
+func runList(h Harness, ops []Op) *Divergence {
+	l := h.newList(0)
+	var o listOracle
+	var st runState
+	div := func(i int, format string, args ...any) *Divergence {
+		return &Divergence{Variant: h.ID, Abstraction: h.Abstraction,
+			Ops: ops, OpIndex: i, Detail: fmt.Sprintf(format, args...)}
+	}
+	for i, op := range ops {
+		sizeBefore := len(o.elems)
+		switch op.Code {
+		case OpAdd:
+			l.Add(op.V)
+			o.add(op.V)
+		case OpInsert:
+			at := idx(op.K, len(o.elems)+1)
+			l.Insert(at, op.V)
+			o.insert(at, op.V)
+		case OpGet:
+			if len(o.elems) == 0 {
+				continue
+			}
+			at := idx(op.K, len(o.elems))
+			if got, want := l.Get(at), o.elems[at]; got != want {
+				return div(i, "Get(%d) = %d, oracle %d", at, got, want)
+			}
+		case OpSet:
+			if len(o.elems) == 0 {
+				continue
+			}
+			at := idx(op.K, len(o.elems))
+			want := o.elems[at]
+			o.elems[at] = op.V
+			if got := l.Set(at, op.V); got != want {
+				return div(i, "Set(%d, %d) = %d, oracle %d", at, op.V, got, want)
+			}
+		case OpRemoveAt:
+			if len(o.elems) == 0 {
+				continue
+			}
+			at := idx(op.K, len(o.elems))
+			want := o.removeAt(at)
+			if got := l.RemoveAt(at); got != want {
+				return div(i, "RemoveAt(%d) = %d, oracle %d", at, got, want)
+			}
+		case OpRemove:
+			want := o.remove(op.V)
+			if got := l.Remove(op.V); got != want {
+				return div(i, "Remove(%d) = %v, oracle %v", op.V, got, want)
+			}
+		case OpContains:
+			if got, want := l.Contains(op.V), o.indexOf(op.V) >= 0; got != want {
+				return div(i, "Contains(%d) = %v, oracle %v", op.V, got, want)
+			}
+			if got, want := l.IndexOf(op.V), o.indexOf(op.V); got != want {
+				return div(i, "IndexOf(%d) = %d, oracle %d", op.V, got, want)
+			}
+		case OpLen:
+			// Len is compared by invariants after every op.
+		case OpClear:
+			l.Clear()
+			o.clear()
+			st = runState{}
+		case OpIterate:
+			var got []int
+			l.ForEach(func(v int) bool { got = append(got, v); return true })
+			if detail := compareListIteration(got, o.elems); detail != "" {
+				return div(i, "%s", detail)
+			}
+		case OpIterateStop:
+			limit := 1 + idx(op.K, keyDomain)
+			calls := 0
+			l.ForEach(func(int) bool { calls++; return calls < limit })
+			if want := min(limit, len(o.elems)); calls != want {
+				return div(i, "ForEach stopped at limit %d made %d callbacks, want %d", limit, calls, want)
+			}
+		}
+		if detail := h.invariants(l, len(o.elems), len(o.elems) > sizeBefore, &st); detail != "" {
+			return div(i, "%s", detail)
+		}
+	}
+	var got []int
+	l.ForEach(func(v int) bool { got = append(got, v); return true })
+	if detail := compareListIteration(got, o.elems); detail != "" {
+		return div(len(ops), "final iteration: %s", detail)
+	}
+	return nil
+}
+
+func compareListIteration(got, want []int) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("iteration visited %d elements, oracle has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("iteration[%d] = %d, oracle %d", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+func runSet(h Harness, ops []Op) *Divergence {
+	s := h.newSet(0)
+	o := newSetOracle()
+	var st runState
+	div := func(i int, format string, args ...any) *Divergence {
+		return &Divergence{Variant: h.ID, Abstraction: h.Abstraction,
+			Ops: ops, OpIndex: i, Detail: fmt.Sprintf(format, args...)}
+	}
+	for i, op := range ops {
+		sizeBefore := len(o.m)
+		switch op.Code {
+		case OpAdd:
+			want := o.add(op.K)
+			if got := s.Add(op.K); got != want {
+				return div(i, "Add(%d) = %v, oracle %v", op.K, got, want)
+			}
+		case OpRemove:
+			want := o.remove(op.K)
+			if got := s.Remove(op.K); got != want {
+				return div(i, "Remove(%d) = %v, oracle %v", op.K, got, want)
+			}
+		case OpContains:
+			if got, want := s.Contains(op.K), o.contains(op.K); got != want {
+				return div(i, "Contains(%d) = %v, oracle %v", op.K, got, want)
+			}
+		case OpLen:
+		case OpClear:
+			s.Clear()
+			o.clear()
+			st = runState{}
+		case OpIterate:
+			if detail := compareSetIteration(s, o); detail != "" {
+				return div(i, "%s", detail)
+			}
+		case OpIterateStop:
+			limit := 1 + idx(op.K, keyDomain)
+			calls := 0
+			s.ForEach(func(int) bool { calls++; return calls < limit })
+			if want := min(limit, len(o.m)); calls != want {
+				return div(i, "ForEach stopped at limit %d made %d callbacks, want %d", limit, calls, want)
+			}
+		}
+		if detail := h.invariants(s, len(o.m), len(o.m) > sizeBefore, &st); detail != "" {
+			return div(i, "%s", detail)
+		}
+	}
+	if detail := compareSetIteration(s, o); detail != "" {
+		return div(len(ops), "final iteration: %s", detail)
+	}
+	return nil
+}
+
+func compareSetIteration(s collections.Set[int], o *setOracle) string {
+	seen := make(map[int]bool, len(o.m))
+	dup, missing := 0, 0
+	var firstBad int
+	bad := false
+	s.ForEach(func(v int) bool {
+		if seen[v] {
+			dup++
+		}
+		seen[v] = true
+		if !o.contains(v) {
+			missing++
+			if !bad {
+				firstBad, bad = v, true
+			}
+		}
+		return true
+	})
+	switch {
+	case dup > 0:
+		return fmt.Sprintf("iteration produced %d duplicate elements", dup)
+	case missing > 0:
+		return fmt.Sprintf("iteration produced %d (and %d more) not in the oracle", firstBad, missing-1)
+	case len(seen) != len(o.m):
+		return fmt.Sprintf("iteration visited %d elements, oracle has %d", len(seen), len(o.m))
+	}
+	return ""
+}
+
+func runMap(h Harness, ops []Op) *Divergence {
+	m := h.newMap(0)
+	o := newMapOracle()
+	var st runState
+	div := func(i int, format string, args ...any) *Divergence {
+		return &Divergence{Variant: h.ID, Abstraction: h.Abstraction,
+			Ops: ops, OpIndex: i, Detail: fmt.Sprintf(format, args...)}
+	}
+	for i, op := range ops {
+		sizeBefore := len(o.m)
+		switch op.Code {
+		case OpAdd:
+			wantV, wantOK := o.put(op.K, op.V)
+			if gotV, gotOK := m.Put(op.K, op.V); gotOK != wantOK || (wantOK && gotV != wantV) {
+				return div(i, "Put(%d, %d) = %d,%v, oracle %d,%v", op.K, op.V, gotV, gotOK, wantV, wantOK)
+			}
+		case OpRemove:
+			wantV, wantOK := o.remove(op.K)
+			if gotV, gotOK := m.Remove(op.K); gotOK != wantOK || (wantOK && gotV != wantV) {
+				return div(i, "Remove(%d) = %d,%v, oracle %d,%v", op.K, gotV, gotOK, wantV, wantOK)
+			}
+		case OpContains:
+			wantV, wantOK := o.get(op.K)
+			if gotV, gotOK := m.Get(op.K); gotOK != wantOK || (wantOK && gotV != wantV) {
+				return div(i, "Get(%d) = %d,%v, oracle %d,%v", op.K, gotV, gotOK, wantV, wantOK)
+			}
+			if got := m.ContainsKey(op.K); got != wantOK {
+				return div(i, "ContainsKey(%d) = %v, oracle %v", op.K, got, wantOK)
+			}
+		case OpLen:
+		case OpClear:
+			m.Clear()
+			o.clear()
+			st = runState{}
+		case OpIterate:
+			if detail := compareMapIteration(m, o); detail != "" {
+				return div(i, "%s", detail)
+			}
+		case OpIterateStop:
+			limit := 1 + idx(op.K, keyDomain)
+			calls := 0
+			m.ForEach(func(int, int) bool { calls++; return calls < limit })
+			if want := min(limit, len(o.m)); calls != want {
+				return div(i, "ForEach stopped at limit %d made %d callbacks, want %d", limit, calls, want)
+			}
+		}
+		if detail := h.invariants(m, len(o.m), len(o.m) > sizeBefore, &st); detail != "" {
+			return div(i, "%s", detail)
+		}
+	}
+	if detail := compareMapIteration(m, o); detail != "" {
+		return div(len(ops), "final iteration: %s", detail)
+	}
+	return nil
+}
+
+func compareMapIteration(m collections.Map[int, int], o *mapOracle) string {
+	seen := make(map[int]bool, len(o.m))
+	detail := ""
+	m.ForEach(func(k, v int) bool {
+		if seen[k] {
+			detail = fmt.Sprintf("iteration produced key %d twice", k)
+			return false
+		}
+		seen[k] = true
+		if want, ok := o.get(k); !ok || want != v {
+			detail = fmt.Sprintf("iteration produced (%d, %d), oracle has %d,%v", k, v, want, ok)
+			return false
+		}
+		return true
+	})
+	if detail != "" {
+		return detail
+	}
+	if len(seen) != len(o.m) {
+		return fmt.Sprintf("iteration visited %d entries, oracle has %d", len(seen), len(o.m))
+	}
+	return ""
+}

@@ -1,0 +1,181 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/collections"
+)
+
+// Shrink reduces a failing op sequence to a 1-minimal one (ddmin-style): it
+// repeatedly deletes chunks, halving the chunk size down to single ops, until
+// no single-op deletion keeps the sequence failing. fails must be
+// deterministic; runs are pure computation, so the quadratic worst case is
+// cheap at checker sequence lengths. It returns the shrunk sequence and the
+// divergence it still produces (nil if ops did not fail to begin with).
+func Shrink(ops []Op, fails func([]Op) *Divergence) ([]Op, *Divergence) {
+	last := fails(ops)
+	if last == nil {
+		return ops, nil
+	}
+	cur := append([]Op(nil), ops...)
+	chunk := (len(cur) + 1) / 2
+	for chunk >= 1 {
+		removed := false
+		for start := 0; start < len(cur); {
+			end := min(start+chunk, len(cur))
+			cand := make([]Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if d := fails(cand); d != nil {
+				cur, last = cand, d
+				removed = true
+				// cur shrank in place: retry the same start position,
+				// where the next chunk has slid in.
+			} else {
+				start = end
+			}
+		}
+		if chunk > 1 {
+			chunk /= 2
+		} else if !removed {
+			break
+		}
+	}
+	return cur, last
+}
+
+// Repro renders the divergence as a runnable Go snippet. List index seeds
+// are concretized by replaying the sequence against the oracle, so the
+// printed calls use the literal indexes the run used.
+func (d *Divergence) Repro() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s diverged from the %s oracle (seed %d, %d ops)\n",
+		d.Variant, d.Abstraction, d.Seed, len(d.Ops))
+	fmt.Fprintf(&b, "// at op %d: %s\n", d.OpIndex, d.Detail)
+	switch d.Abstraction {
+	case collections.ListAbstraction:
+		fmt.Fprintf(&b, "f, _ := collections.IntListFactory(%q)\n", string(d.Variant))
+		b.WriteString("c := f(0)\n")
+		var o listOracle
+		for i, op := range d.Ops {
+			if i > d.OpIndex {
+				break
+			}
+			b.WriteString(renderListOp(&o, op))
+		}
+	case collections.SetAbstraction:
+		fmt.Fprintf(&b, "f, _ := collections.IntSetFactory(%q)\n", string(d.Variant))
+		b.WriteString("c := f(0)\n")
+		for i, op := range d.Ops {
+			if i > d.OpIndex {
+				break
+			}
+			b.WriteString(renderSetOp(op))
+		}
+	case collections.MapAbstraction:
+		fmt.Fprintf(&b, "f, _ := collections.IntMapFactory(%q)\n", string(d.Variant))
+		b.WriteString("c := f(0)\n")
+		for i, op := range d.Ops {
+			if i > d.OpIndex {
+				break
+			}
+			b.WriteString(renderMapOp(op))
+		}
+	}
+	if d.OpIndex >= len(d.Ops) {
+		b.WriteString("// ...then compare a full ForEach against the expected contents\n")
+	}
+	return b.String()
+}
+
+func renderIterateStop(limit int) string {
+	return fmt.Sprintf("{ n := 0; c.ForEach(func(int) bool { n++; return n < %d }) }\n", limit)
+}
+
+func renderListOp(o *listOracle, op Op) string {
+	switch op.Code {
+	case OpAdd:
+		o.add(op.V)
+		return fmt.Sprintf("c.Add(%d)\n", op.V)
+	case OpInsert:
+		at := idx(op.K, len(o.elems)+1)
+		o.insert(at, op.V)
+		return fmt.Sprintf("c.Insert(%d, %d)\n", at, op.V)
+	case OpGet:
+		if len(o.elems) == 0 {
+			return ""
+		}
+		return fmt.Sprintf("_ = c.Get(%d)\n", idx(op.K, len(o.elems)))
+	case OpSet:
+		if len(o.elems) == 0 {
+			return ""
+		}
+		at := idx(op.K, len(o.elems))
+		o.elems[at] = op.V
+		return fmt.Sprintf("c.Set(%d, %d)\n", at, op.V)
+	case OpRemoveAt:
+		if len(o.elems) == 0 {
+			return ""
+		}
+		at := idx(op.K, len(o.elems))
+		o.removeAt(at)
+		return fmt.Sprintf("c.RemoveAt(%d)\n", at)
+	case OpRemove:
+		o.remove(op.V)
+		return fmt.Sprintf("c.Remove(%d)\n", op.V)
+	case OpContains:
+		return fmt.Sprintf("_, _ = c.Contains(%d), c.IndexOf(%d)\n", op.V, op.V)
+	case OpLen:
+		return "_ = c.Len()\n"
+	case OpClear:
+		o.clear()
+		return "c.Clear()\n"
+	case OpIterate:
+		return "c.ForEach(func(int) bool { return true })\n"
+	case OpIterateStop:
+		return renderIterateStop(1 + idx(op.K, keyDomain))
+	}
+	return ""
+}
+
+func renderSetOp(op Op) string {
+	switch op.Code {
+	case OpAdd:
+		return fmt.Sprintf("c.Add(%d)\n", op.K)
+	case OpRemove:
+		return fmt.Sprintf("c.Remove(%d)\n", op.K)
+	case OpContains:
+		return fmt.Sprintf("_ = c.Contains(%d)\n", op.K)
+	case OpLen:
+		return "_ = c.Len()\n"
+	case OpClear:
+		return "c.Clear()\n"
+	case OpIterate:
+		return "c.ForEach(func(int) bool { return true })\n"
+	case OpIterateStop:
+		return renderIterateStop(1 + idx(op.K, keyDomain))
+	}
+	return ""
+}
+
+func renderMapOp(op Op) string {
+	switch op.Code {
+	case OpAdd:
+		return fmt.Sprintf("c.Put(%d, %d)\n", op.K, op.V)
+	case OpRemove:
+		return fmt.Sprintf("c.Remove(%d)\n", op.K)
+	case OpContains:
+		return fmt.Sprintf("_, _ = c.Get(%d)\n", op.K)
+	case OpLen:
+		return "_ = c.Len()\n"
+	case OpClear:
+		return "c.Clear()\n"
+	case OpIterate:
+		return "c.ForEach(func(int, int) bool { return true })\n"
+	case OpIterateStop:
+		return fmt.Sprintf("{ n := 0; c.ForEach(func(int, int) bool { n++; return n < %d }) }\n",
+			1+idx(op.K, keyDomain))
+	}
+	return ""
+}

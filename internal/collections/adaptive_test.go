@@ -42,6 +42,68 @@ func TestAdaptiveListTransitionViaInsert(t *testing.T) {
 	}
 }
 
+// checkBag asserts the hash form's bag is exactly the multiset of its
+// element slice — the invariant the adopted-slice transition must preserve.
+func checkBag[T comparable](t *testing.T, l *HashArrayList[T]) {
+	t.Helper()
+	want := make(map[T]int32, len(l.elems))
+	for _, e := range l.elems {
+		want[e]++
+	}
+	if len(want) != len(l.bag) {
+		t.Fatalf("bag has %d distinct elements, want %d", len(l.bag), len(want))
+	}
+	for v, n := range want {
+		if l.bag[v] != n {
+			t.Fatalf("bag[%v] = %d, want %d", v, l.bag[v], n)
+		}
+	}
+}
+
+func TestAdaptiveListBagConsistencyAfterInsertTransition(t *testing.T) {
+	// The transition adopts the array's backing slice (no copy), including
+	// duplicates; every later mutation through the hash form must keep the
+	// bag in lockstep with that adopted slice.
+	l := NewAdaptiveListThreshold[int](4)
+	for _, v := range []int{1, 2, 2, 3} {
+		l.Add(v)
+	}
+	l.Insert(2, 2) // crosses the threshold mid-Insert: [1 2 2 2 3]
+	if !l.Transitioned() {
+		t.Fatal("Insert crossing the threshold did not transition")
+	}
+	checkBag(t, l.hash)
+
+	// Set over a duplicate: the bag count for 2 drops, 9 appears.
+	if old := l.Set(1, 9); old != 2 {
+		t.Fatalf("Set returned %d, want 2", old)
+	}
+	checkBag(t, l.hash)
+	// Set an element to itself: counts unchanged.
+	l.Set(0, 1)
+	checkBag(t, l.hash)
+	// Remove one of the remaining duplicates; the other must stay visible.
+	if !l.Remove(2) {
+		t.Fatal("Remove(2) = false")
+	}
+	checkBag(t, l.hash)
+	if !l.Contains(2) {
+		t.Fatal("second duplicate lost after removing the first")
+	}
+	l.RemoveAt(l.Len() - 1)
+	checkBag(t, l.hash)
+
+	want := []int{1, 9, 2}
+	if l.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := l.Get(i); got != w {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
 func TestAdaptiveListClearReverts(t *testing.T) {
 	l := NewAdaptiveListThreshold[int](2)
 	for i := 0; i < 5; i++ {

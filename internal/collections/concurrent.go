@@ -63,11 +63,12 @@ func (s *SyncSet[T]) ForEach(fn func(T) bool) {
 	s.inner.ForEach(fn)
 }
 
-// FootprintBytes estimates the guarded table.
+// FootprintBytes estimates the wrapper (RWMutex + inner pointer) plus the
+// guarded table.
 func (s *SyncSet[T]) FootprintBytes() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return structBase + s.inner.FootprintBytes()
+	return structBase + rwMutexBytes + wordBytes + s.inner.FootprintBytes()
 }
 
 // SyncMap is a mutex-guarded map, safe for concurrent use.
@@ -131,11 +132,12 @@ func (m *SyncMap[K, V]) ForEach(fn func(K, V) bool) {
 	m.inner.ForEach(fn)
 }
 
-// FootprintBytes estimates the guarded table.
+// FootprintBytes estimates the wrapper (RWMutex + inner pointer) plus the
+// guarded table.
 func (m *SyncMap[K, V]) FootprintBytes() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return structBase + m.inner.FootprintBytes()
+	return structBase + rwMutexBytes + wordBytes + m.inner.FootprintBytes()
 }
 
 // shardedShards is the stripe count; a power of two so shard selection is a
@@ -156,7 +158,10 @@ type ShardedMap[K comparable, V any] struct {
 // NewShardedMap returns an empty ShardedMap pre-sized for capHint entries.
 func NewShardedMap[K comparable, V any](capHint int) *ShardedMap[K, V] {
 	sm := &ShardedMap[K, V]{h: newHasher[K]()}
-	per := capHint / shardedShards
+	// Round up so a non-multiple-of-shards hint still pre-sizes every shard
+	// for its share (truncation pre-sized 16×6=96 slots for capHint=100 and
+	// nothing at all for capHint<16).
+	per := (capHint + shardedShards - 1) / shardedShards
 	for i := range sm.shards {
 		sm.shards[i].m = NewOpenHashMapPreset[K, V](OpenBalanced, per)
 	}
@@ -243,9 +248,10 @@ func (m *ShardedMap[K, V]) ForEach(fn func(K, V) bool) {
 	}
 }
 
-// FootprintBytes estimates all shard tables.
+// FootprintBytes estimates the header (hasher + the inline shard array of
+// RWMutexes and map pointers) plus all shard tables.
 func (m *ShardedMap[K, V]) FootprintBytes() int {
-	total := structBase
+	total := structBase + sizeOf(m.h) + shardedShards*(rwMutexBytes+wordBytes)
 	for i := range m.shards {
 		m.shards[i].mu.RLock()
 		total += m.shards[i].m.FootprintBytes()

@@ -157,6 +157,103 @@ func TestShardedMapClearAndFootprint(t *testing.T) {
 	}
 }
 
+func TestShardedMapPresizingRoundsUp(t *testing.T) {
+	// capHint must be split over the shards with round-up: truncation gave
+	// 16×6=96 pre-sized slots for capHint=100 and none at all for
+	// capHint<16. Each shard's table must match an OpenHashMap pre-sized
+	// for ceil(capHint/shards).
+	for _, capHint := range []int{1, 8, 15, 100, 177, 1000} {
+		per := (capHint + shardedShards - 1) / shardedShards
+		ref := NewOpenHashMapPreset[int, int](OpenBalanced, per)
+		m := NewShardedMap[int, int](capHint)
+		for i := range m.shards {
+			if got, want := len(m.shards[i].m.keys), len(ref.keys); got != want {
+				t.Fatalf("capHint=%d shard %d table = %d slots, want %d",
+					capHint, i, got, want)
+			}
+		}
+	}
+}
+
+func TestConcurrentWrapperFootprints(t *testing.T) {
+	// The wrappers must charge their own header on top of the inner tables,
+	// per the sizeof.go conventions every other variant follows.
+	t.Run("syncset", func(t *testing.T) {
+		s := NewSyncSet[int](0)
+		for i := 0; i < 100; i++ {
+			s.Add(i)
+		}
+		want := structBase + rwMutexBytes + wordBytes + s.inner.FootprintBytes()
+		if got := s.FootprintBytes(); got != want {
+			t.Fatalf("SyncSet footprint = %d, want %d", got, want)
+		}
+	})
+	t.Run("syncmap", func(t *testing.T) {
+		m := NewSyncMap[int, int](0)
+		for i := 0; i < 100; i++ {
+			m.Put(i, i)
+		}
+		want := structBase + rwMutexBytes + wordBytes + m.inner.FootprintBytes()
+		if got := m.FootprintBytes(); got != want {
+			t.Fatalf("SyncMap footprint = %d, want %d", got, want)
+		}
+		// The wrapper must cost more than the bare table it guards.
+		if m.FootprintBytes() <= m.inner.FootprintBytes() {
+			t.Fatal("SyncMap footprint does not exceed inner table")
+		}
+	})
+	t.Run("sharded", func(t *testing.T) {
+		m := NewShardedMap[int, int](0)
+		for i := 0; i < 100; i++ {
+			m.Put(i, i)
+		}
+		want := structBase + sizeOf(m.h) + shardedShards*(rwMutexBytes+wordBytes)
+		for i := range m.shards {
+			want += m.shards[i].m.FootprintBytes()
+		}
+		if got := m.FootprintBytes(); got != want {
+			t.Fatalf("ShardedMap footprint = %d, want %d", got, want)
+		}
+		// 16 mutexes + 16 shard pointers are real memory: the header charge
+		// alone must exceed the sync wrappers' single-lock header.
+		if got := m.FootprintBytes(); got < shardedShards*(rwMutexBytes+wordBytes) {
+			t.Fatalf("ShardedMap footprint %d omits the shard header array", got)
+		}
+	})
+}
+
+func TestShardedMapForEachEarlyStopAcrossShards(t *testing.T) {
+	m := NewShardedMap[int, int](0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m.Put(i, i)
+	}
+	// Shard occupancy, in iteration order.
+	var cum []int
+	total := 0
+	for i := range m.shards {
+		total += m.shards[i].m.Len()
+		cum = append(cum, total)
+	}
+	if total != n {
+		t.Fatalf("shards hold %d entries, want %d", total, n)
+	}
+	// Stopping mid-shard, exactly on every shard boundary, and one past it
+	// must all invoke fn exactly stopAfter times — a stop in shard i must
+	// not leak iteration into shard i+1.
+	stops := []int{1, cum[0], cum[0] + 1, cum[len(cum)/2], n / 2, n}
+	for _, stopAfter := range stops {
+		calls := 0
+		m.ForEach(func(int, int) bool {
+			calls++
+			return calls < stopAfter
+		})
+		if calls != stopAfter {
+			t.Fatalf("stopAfter=%d: fn called %d times", stopAfter, calls)
+		}
+	}
+}
+
 func TestConcurrentVariantRegistries(t *testing.T) {
 	if got := len(ConcurrentSetVariants[int]()); got != 1 {
 		t.Fatalf("concurrent set variants = %d", got)

@@ -1,8 +1,16 @@
 package collections
 
-import "unsafe"
+import (
+	"sync"
+	"unsafe"
+)
 
 // sizeOf returns the in-memory size of a value of type T as stored in a
 // slice or struct field (shallow size; referents are not followed). It
 // backs the FootprintBytes estimates of every variant.
 func sizeOf[T any](v T) int { return int(unsafe.Sizeof(v)) }
+
+// rwMutexBytes is the in-memory size of a sync.RWMutex, charged by the
+// concurrent wrappers for each lock they embed. unsafe.Sizeof does not
+// evaluate (or copy) its operand, so no lock value is ever copied here.
+const rwMutexBytes = int(unsafe.Sizeof(sync.RWMutex{}))

@@ -283,3 +283,53 @@ func NewMapOf[K comparable, V any](id VariantID, capHint int) Map[K, V] {
 	}
 	panic(fmt.Sprintf("collections: unknown map variant %q", id))
 }
+
+// IntListFactory resolves any catalog list entry — core, adaptive, or custom
+// — to an int-element factory, ok=false when the entry is unknown or was
+// registered for a different element type. The differential checker
+// (internal/check) instantiates every catalog variant through these
+// resolvers, which is why they also cover the extension groups NewListOf/
+// NewSetOf/NewMapOf cannot reach at a bare comparable type parameter.
+func IntListFactory(id VariantID) (func(int) List[int], bool) {
+	e, ok := EntryOf(id)
+	if !ok || e.Info.Abstraction != ListAbstraction {
+		return nil, false
+	}
+	if f := listFactoryOf[int](e); f != nil {
+		return f, true
+	}
+	return nil, false
+}
+
+// IntSetFactory resolves any catalog set entry — including the sorted
+// extensions, whose factories need cmp.Ordered — to an int-element factory;
+// see IntListFactory.
+func IntSetFactory(id VariantID) (func(int) Set[int], bool) {
+	e, ok := EntryOf(id)
+	if !ok || e.Info.Abstraction != SetAbstraction {
+		return nil, false
+	}
+	if f := setFactoryOf[int](e); f != nil {
+		return f, true
+	}
+	if f := builtinSortedSetFactory[int](e.Info.ID); f != nil {
+		return f, true
+	}
+	return nil, false
+}
+
+// IntMapFactory resolves any catalog map entry to an int-keyed, int-valued
+// factory; see IntListFactory.
+func IntMapFactory(id VariantID) (func(int) Map[int, int], bool) {
+	e, ok := EntryOf(id)
+	if !ok || e.Info.Abstraction != MapAbstraction {
+		return nil, false
+	}
+	if f := mapFactoryOf[int, int](e); f != nil {
+		return f, true
+	}
+	if f := builtinSortedMapFactory[int, int](e.Info.ID); f != nil {
+		return f, true
+	}
+	return nil, false
+}

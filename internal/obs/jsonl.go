@@ -130,6 +130,12 @@ func decodeKind(kind Kind, raw json.RawMessage) (Event, error) {
 	case KindBenchmarkProgress:
 		var e BenchmarkProgress
 		return e, unmarshal(&e)
+	case KindCheckCompleted:
+		var e CheckCompleted
+		return e, unmarshal(&e)
+	case KindCheckDivergence:
+		var e CheckDivergence
+		return e, unmarshal(&e)
 	default:
 		return nil, fmt.Errorf("obs: unknown event kind %q", kind)
 	}

@@ -58,6 +58,8 @@ const (
 	KindModelsSwapped        Kind = "models_swapped"
 	KindModelMissing         Kind = "model_missing"
 	KindBenchmarkProgress    Kind = "benchmark_progress"
+	KindCheckCompleted       Kind = "check_completed"
+	KindCheckDivergence      Kind = "check_divergence"
 )
 
 // Event is one structured framework event. Concrete types are plain value
@@ -332,4 +334,42 @@ func (BenchmarkProgress) EventKind() Kind    { return KindBenchmarkProgress }
 func (BenchmarkProgress) EngineName() string { return "" }
 func (e BenchmarkProgress) Logline() (string, []any) {
 	return "benchmarked %s %s (%d/%d)", []any{e.Variant, e.Op, e.Done, e.Total}
+}
+
+// CheckCompleted reports one differential-checker run (internal/check): Ops
+// operations replayed against variant and oracle from a deterministic Seed.
+type CheckCompleted struct {
+	Variant     string `json:"variant"`
+	Abstraction string `json:"abstraction"`
+	Seed        int64  `json:"seed"`
+	Ops         int    `json:"ops"`
+	Diverged    bool   `json:"diverged,omitempty"`
+}
+
+func (CheckCompleted) EventKind() Kind    { return KindCheckCompleted }
+func (CheckCompleted) EngineName() string { return "" }
+func (e CheckCompleted) Logline() (string, []any) {
+	if e.Diverged {
+		return "checked %s: DIVERGED (seed %d, %d ops)", []any{e.Variant, e.Seed, e.Ops}
+	}
+	return "checked %s: ok (seed %d, %d ops)", []any{e.Variant, e.Seed, e.Ops}
+}
+
+// CheckDivergence reports a semantic divergence between a variant and the
+// reference oracle, after shrinking: OpIndex is the failing position within
+// the Ops-long minimal sequence, Detail the got-vs-want description.
+type CheckDivergence struct {
+	Variant     string `json:"variant"`
+	Abstraction string `json:"abstraction"`
+	Seed        int64  `json:"seed"`
+	OpIndex     int    `json:"op_index"`
+	Ops         int    `json:"ops"` // length of the shrunk sequence
+	Detail      string `json:"detail"`
+}
+
+func (CheckDivergence) EventKind() Kind    { return KindCheckDivergence }
+func (CheckDivergence) EngineName() string { return "" }
+func (e CheckDivergence) Logline() (string, []any) {
+	return "divergence in %s at op %d/%d (seed %d): %s",
+		[]any{e.Variant, e.OpIndex, e.Ops, e.Seed, e.Detail}
 }

@@ -29,6 +29,10 @@ func allEvents() []Event {
 		CooldownEntered{Engine: "e1", Context: "site:a", Round: 2, SkipNext: 300},
 		ConfigClamped{Engine: "e1", Field: "FinishedRatio", From: 1.5, To: 1},
 		EngineClosed{Engine: "e1", Contexts: 2, Rounds: 4, Transitions: 1},
+		CheckCompleted{Variant: "set/hash", Abstraction: "set", Seed: 42, Ops: 400},
+		CheckCompleted{Variant: "list/linked", Abstraction: "list", Seed: 7, Ops: 400, Diverged: true},
+		CheckDivergence{Variant: "list/linked", Abstraction: "list", Seed: 7,
+			OpIndex: 3, Ops: 4, Detail: "Get(2) = 5, oracle 9"},
 	}
 }
 
@@ -38,6 +42,7 @@ func TestEventTaxonomyCovered(t *testing.T) {
 		KindRoundStarted, KindRoundCompleted, KindContextAnalyzed,
 		KindWindowClosed, KindTransition, KindCooldownEntered,
 		KindConfigClamped, KindEngineClosed,
+		KindCheckCompleted, KindCheckDivergence,
 	}
 	seen := make(map[Kind]bool)
 	for _, e := range allEvents() {

@@ -53,7 +53,12 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// Percentile returns the p-th percentile (0–100) of xs using nearest-rank.
+// Percentile returns the p-th percentile (0–100) of xs by linear
+// interpolation between closest ranks (the R-7 / NumPy-default definition:
+// rank = p/100·(n−1)). Under nearest-rank, Percentile(xs, 50) disagreed with
+// Median on even-length inputs (it returned the lower middle element instead
+// of averaging the pair); interpolation makes p50 and Median identical for
+// every input, which TestPercentileMedianAgree pins.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -66,11 +71,12 @@ func Percentile(xs []float64, p float64) float64 {
 	if p >= 100 {
 		return s[len(s)-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
-	if rank < 0 {
-		rank = 0
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
 	}
-	return s[rank]
+	return s[lo] + (rank-float64(lo))*(s[lo+1]-s[lo])
 }
 
 // t95 is the two-sided 95% Student-t critical value by degrees of freedom.

@@ -43,14 +43,42 @@ func TestMedian(t *testing.T) {
 }
 
 func TestPercentile(t *testing.T) {
+	// R-7 linear interpolation: rank = p/100·(n−1) over the sorted series.
 	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	cases := []struct{ p, want float64 }{
-		{0, 10}, {10, 10}, {50, 50}, {90, 90}, {100, 100},
+		{0, 10}, {10, 19}, {25, 32.5}, {50, 55}, {90, 91}, {100, 100},
 	}
 	for _, c := range cases {
-		if got := Percentile(xs, c.p); got != c.want {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
 			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
 		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty Percentile should be 0")
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("singleton Percentile = %g, want 7", got)
+	}
+}
+
+// Pins the convention the Percentile/Median reconciliation settled on:
+// Percentile(xs, 50) and Median agree on every input, odd or even length.
+func TestPercentileMedianAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for n := 1; n <= 25; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		p50, med := Percentile(xs, 50), Median(xs)
+		if !almost(p50, med, 1e-9) {
+			t.Fatalf("n=%d: Percentile(50) = %g, Median = %g", n, p50, med)
+		}
+	}
+	// The even-length case that nearest-rank got wrong: p50 of {1,2,3,4}
+	// must average the middle pair, not return 2.
+	if got := Percentile([]float64{4, 1, 3, 2}, 50); got != 2.5 {
+		t.Errorf("Percentile({1..4}, 50) = %g, want 2.5", got)
 	}
 }
 
