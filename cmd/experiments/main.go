@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
+	"repro/internal/tuner"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	modelsPath := flag.String("models", "", "optional perfmodel JSON built by cmd/perfmodel")
+	storeDir := flag.String("store", "", "warm-start store directory: load persisted site decisions/models before the run and save snapshots after (see internal/tuner)")
 	tracePath := flag.String("trace", "", "write structured framework events (JSONL) to this file")
 	metrics := flag.Bool("metrics", false, "print a metrics summary after each experiment")
 	parallel := flag.Int("parallel", 1, "analysis worker pool per engine (Config.AnalysisParallelism); 1 keeps the deterministic sequential trace ordering, 0 uses GOMAXPROCS")
@@ -53,22 +55,12 @@ func main() {
 		sc = experiments.QuickScale()
 	}
 
-	var models *perfmodel.Models
-	if *modelsPath != "" {
-		m, err := perfmodel.LoadFile(*modelsPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "loading models: %v\n", err)
-			os.Exit(1)
-		}
-		models = m
-	}
-
 	// Observability wiring: engines of the engine-driven experiments share
 	// one metrics registry, and -trace exports their event streams as
 	// JSONL (the Table 6 rows are exactly reconstructible from that file
 	// via experiments.Table6FromEvents / obs.ReadAll). A -models file
 	// replaces the analytic defaults on every experiment engine.
-	o := experiments.Obs{Metrics: obs.NewRegistry(), Parallelism: *parallel, Models: models}
+	o := experiments.Obs{Metrics: obs.NewRegistry(), Parallelism: *parallel}
 	var traceSink *obs.JSONLSink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -87,6 +79,43 @@ func main() {
 		o.Sink = traceSink
 	}
 
+	// Warm-start store: decisions and refined models persisted by an
+	// earlier run (or by the tuner) seed every experiment engine; after
+	// the run, the latest per-site snapshots are saved back.
+	if *storeDir != "" {
+		store := tuner.Open(*storeDir, o.Sink, o.Metrics)
+		o.WarmStart = store
+		o.Snapshots = store.RecordSites
+		defer func() {
+			if err := store.Save(); err != nil {
+				fmt.Fprintf(os.Stderr, "saving warm-start store: %v\n", err)
+			}
+		}()
+		if *modelsPath == "" {
+			if m := store.Models(); m != nil {
+				o.Models = m
+			}
+		}
+	}
+
+	if *modelsPath != "" {
+		m, err := perfmodel.LoadFile(*modelsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading models: %v\n", err)
+			os.Exit(1)
+		}
+		// Validate the loaded curves against the live variant catalog: a
+		// model file built against a different build may carry curves for
+		// variants this binary does not register. Each is a model gap —
+		// warn once per variant and count it, then proceed; the engine
+		// skips candidates with missing curves anyway.
+		for _, v := range perfmodel.UnknownVariants(m) {
+			fmt.Fprintf(os.Stderr, "warning: models file %s has curves for unknown variant %q (not in this build's catalog)\n", *modelsPath, v)
+			o.Metrics.ModelGaps.Add(1)
+		}
+		o.Models = m
+	}
+
 	w := os.Stdout
 	run := func(id string) {
 		switch id {
@@ -101,7 +130,7 @@ func main() {
 		case "fig6":
 			experiments.PrintFig6(w, experiments.RunFig6Obs(sc, o))
 		case "fig7":
-			experiments.PrintFig7(w, experiments.RunFig7(models))
+			experiments.PrintFig7(w, experiments.RunFig7(o.Models))
 		case "table5", "table6":
 			rows := experiments.RunTable5Obs(sc, o)
 			experiments.PrintTable5(w, rows)

@@ -1,0 +1,104 @@
+// warmstart: online calibration and warm starts end to end (package tuner).
+//
+// The program runs one service lifetime against a persistent warm-start
+// store. On a cold start (empty store directory) the engine converges a
+// lookup-heavy list site from scratch, the tuner shadow-benchmarks the
+// candidate variants at the observed sizes, folds the measurements into the
+// cost models, and persists both the refined models and the per-site
+// decisions. Run it a second time against the same directory and the site
+// warm-starts on the persisted variant: the engine keeps monitoring, but a
+// stable workload closes every window without a single transition or rule
+// evaluation.
+//
+// Run with:
+//
+//	dir=$(mktemp -d)
+//	go run ./examples/warmstart -store "$dir"   # cold: converges + persists
+//	go run ./examples/warmstart -store "$dir"   # warm: restored, 0 transitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/tuner"
+)
+
+const (
+	listsPerRound = 10
+	listSize      = 500
+	lookups       = 500
+	rounds        = 3
+)
+
+func main() {
+	storeDir := flag.String("store", filepath.Join(os.TempDir(), "collectionswitch-warmstart"),
+		"warm-start store directory (persisted decisions + refined models)")
+	flag.Parse()
+
+	col := obs.NewCollector()
+	metrics := obs.NewRegistry()
+
+	// The store is consulted at context registration (Config.WarmStart) and
+	// receives the tuner's refined state after every calibration cycle.
+	store := tuner.Open(*storeDir, col, metrics)
+	engine := core.NewEngineManual(core.Config{
+		WindowSize:      listsPerRound,
+		FinishedRatio:   0.6,
+		CooldownWindows: -1, // re-monitor every round, so every round is a held decision
+		Name:            "warmstart-demo",
+		Sink:            col,
+		Metrics:         metrics,
+		WarmStart:       store,
+	})
+	ctx := core.NewListContext[int](engine, core.WithName("demo:list"))
+	fmt.Printf("site demo:list starts on %s\n", ctx.CurrentVariant())
+
+	// A lookup-heavy workload: under the analytic models Rtime moves the
+	// site from ArrayList to HashArrayList — unless the store already says
+	// so, in which case the restored variant just holds.
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < listsPerRound; i++ {
+			l := ctx.NewList()
+			for j := 0; j < listSize; j++ {
+				l.Add(j)
+			}
+			for j := 0; j < lookups; j++ {
+				l.Contains(j % (listSize + 1))
+			}
+		}
+		runtime.GC() // clear the weak refs, as a JVM's GC would
+		engine.AnalyzeNow()
+	}
+
+	// One explicit calibration cycle: shadow-benchmark the candidates at the
+	// observed sizes, hot-swap refined models, persist everything. Budget 1
+	// makes the demo deterministic; a long-running service would use
+	// tuner.Start with the default 2% duty cycle instead.
+	tn := tuner.New(tuner.Config{Engine: engine, Store: store, Budget: 1, Sink: col, Metrics: metrics})
+	tn.RunOnce()
+	engine.Close()
+
+	warmStarts, transitions := 0, 0
+	for _, ev := range col.Events() {
+		switch ev.EventKind() {
+		case obs.KindWarmStart, obs.KindTransition, obs.KindCalibrationDrift,
+			obs.KindCalibrationStarted, obs.KindCalibrationCompleted,
+			obs.KindStoreLoaded, obs.KindStoreSaved, obs.KindStoreRejected:
+			fmt.Printf("  [%s] %s\n", ev.EventKind(), obs.Line(ev))
+		}
+		switch ev.EventKind() {
+		case obs.KindWarmStart:
+			warmStarts++
+		case obs.KindTransition:
+			transitions++
+		}
+	}
+	fmt.Printf("site demo:list ends on %s after %d rounds\n", ctx.CurrentVariant(), ctx.Round())
+	fmt.Printf("summary: warm_starts=%d transitions=%d\n", warmStarts, transitions)
+}

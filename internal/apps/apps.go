@@ -209,6 +209,14 @@ type Obs struct {
 	Parallelism int
 	// Models overrides the engine's cost models (nil = analytic defaults).
 	Models *perfmodel.Models
+	// WarmStart is handed to the engine as Config.WarmStart: persisted
+	// site decisions restore variants at context registration (nil = cold
+	// start, the historical behavior).
+	WarmStart core.WarmStarter
+	// Snapshots, when non-nil, receives the engine's per-site state after
+	// the run completes (before the engine closes) — the hook cmd tools
+	// use to persist decisions into a warm-start store.
+	Snapshots func([]core.SiteSnapshot)
 }
 
 // Run executes app once in the given mode and returns its measurements.
@@ -236,6 +244,7 @@ func RunObs(app App, mode Mode, rule core.Rule, seed int64, o Obs) Result {
 			Name:                o.Label,
 			Sink:                obs.Multi(col, o.Sink),
 			Metrics:             o.Metrics,
+			WarmStart:           o.WarmStart,
 		})
 		defer engine.Close()
 	}
@@ -244,6 +253,9 @@ func RunObs(app App, mode Mode, rule core.Rule, seed int64, o Obs) Result {
 	app.Run(env)
 	elapsed := time.Since(start)
 	env.Checkpoint()
+	if engine != nil && o.Snapshots != nil {
+		o.Snapshots(engine.SiteSnapshots())
+	}
 	res := Result{
 		Elapsed:       elapsed,
 		PeakHeapBytes: env.peakHeap,

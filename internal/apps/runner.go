@@ -73,6 +73,12 @@ type RunConfig struct {
 	// Models overrides the cost models of every run engine (nil = the
 	// analytic defaults).
 	Models *perfmodel.Models
+	// WarmStart supplies persisted site decisions to every measured run's
+	// engine (nil = cold starts). Snapshots, when non-nil, receives each
+	// measured run's per-site state — together they let cmd/experiments
+	// demonstrate cold vs warm behavior against a tuner.Store.
+	WarmStart core.WarmStarter
+	Snapshots func([]core.SiteSnapshot)
 }
 
 // DefaultRunConfig returns the paper's run counts at full scale.
@@ -98,6 +104,8 @@ func measureCell(app App, mode Mode, rule core.Rule, cfg RunConfig) Cell {
 		Metrics:     cfg.Metrics,
 		Parallelism: cfg.Parallelism,
 		Models:      cfg.Models,
+		WarmStart:   cfg.WarmStart,
+		Snapshots:   cfg.Snapshots,
 	}
 	for i := 0; i < cfg.Measured; i++ {
 		res := RunObs(app, mode, rule, cfg.Seed, o)

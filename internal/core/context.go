@@ -74,7 +74,7 @@ func NewListContext[T comparable](e *Engine, opts ...Option) *ListContext[T] {
 		panic("core: unknown default list variant " + string(o.defaultVar))
 	}
 	c := &ListContext[T]{}
-	c.core.init(e, o, factories, wrapList[T], unwrapList[T], collections.DefaultListThreshold)
+	c.core.init(e, o, "list", factories, wrapList[T], unwrapList[T], collections.DefaultListThreshold)
 	e.register(&c.core)
 	return c
 }
@@ -106,7 +106,7 @@ func NewSetContext[T comparable](e *Engine, opts ...Option) *SetContext[T] {
 		panic("core: unknown default set variant " + string(o.defaultVar))
 	}
 	c := &SetContext[T]{}
-	c.core.init(e, o, factories, wrapSet[T], unwrapSet[T], collections.DefaultSetThreshold)
+	c.core.init(e, o, "set", factories, wrapSet[T], unwrapSet[T], collections.DefaultSetThreshold)
 	e.register(&c.core)
 	return c
 }
@@ -138,7 +138,7 @@ func NewMapContext[K comparable, V any](e *Engine, opts ...Option) *MapContext[K
 		panic("core: unknown default map variant " + string(o.defaultVar))
 	}
 	c := &MapContext[K, V]{}
-	c.core.init(e, o, factories, wrapMap[K, V], unwrapMap[K, V], collections.DefaultMapThreshold)
+	c.core.init(e, o, "map", factories, wrapMap[K, V], unwrapMap[K, V], collections.DefaultMapThreshold)
 	e.register(&c.core)
 	return c
 }

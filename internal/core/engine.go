@@ -61,6 +61,20 @@ type Config struct {
 	// debugging aid and would grow traces by one line per context per
 	// pass.
 	AnalysisSpans bool
+	// WarmStart, when non-nil, is consulted once per context registration:
+	// a stored decision for the context's (final) name restores its variant
+	// before the first collection is created, and the context skips rule
+	// evaluation while its observed workload stays within DriftThreshold of
+	// the stored profile (see warmstart.go). Nil — the default — reproduces
+	// the historical cold-start behavior exactly. The canonical
+	// implementation is the warm-start store of internal/tuner.
+	WarmStart WarmStarter
+	// DriftThreshold bounds how far a warm-started context's observed
+	// workload profile may drift from the persisted one (core.Drift) before
+	// the context sheds its warm state and resumes normal selection. Zero
+	// uses the default (0.5); negative values are clamped to 0 (any
+	// measurable drift re-opens selection) and reported as ConfigClamped.
+	DriftThreshold float64
 	// Name labels this engine in emitted events, distinguishing engines
 	// when several share a sink or registry (e.g. the Table 5 sweep).
 	Name string
@@ -116,6 +130,13 @@ func (c Config) withDefaults() (Config, []obs.ConfigClamped) {
 		clamps = append(clamps, obs.ConfigClamped{Field: "CooldownWindows", From: c.CooldownWindows, To: 0})
 		c.CooldownWindows = 0
 	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.5
+	}
+	if c.DriftThreshold < 0 {
+		clamps = append(clamps, obs.ConfigClamped{Field: "DriftThreshold", From: c.DriftThreshold, To: 0})
+		c.DriftThreshold = 0
+	}
 	if c.AnalysisParallelism == 0 {
 		c.AnalysisParallelism = runtime.GOMAXPROCS(0)
 	}
@@ -147,6 +168,11 @@ type analyzable interface {
 	// before the context is published to the analysis schedule.
 	rename(string)
 	windowStats() obs.ContextWindowStat
+	// warmStart restores a persisted decision; Engine.register calls it
+	// (pre-publication) when Config.WarmStart knows the site. False means
+	// the stored variant is not in the context's candidate pool.
+	warmStart(WarmDecision) bool
+	siteSnapshot() SiteSnapshot
 }
 
 // Engine coordinates allocation contexts: it owns the configuration, the
@@ -412,6 +438,19 @@ func (e *Engine) register(c analyzable) {
 	} else {
 		e.names[base] = 1
 	}
+	e.mu.Unlock()
+	// Warm start happens between name resolution and publication: the
+	// restored variant must be in place before the context can be analyzed
+	// or create its first collection, and the lookup runs outside the engine
+	// lock (WarmStarter implementations own their own synchronization).
+	var warm *obs.WarmStart
+	if ws := e.cfg.WarmStart; ws != nil {
+		if dec, ok := ws.WarmLookup(c.contextName()); ok && c.warmStart(dec) {
+			e.metrics.WarmStarts.Add(1)
+			warm = &obs.WarmStart{Engine: e.cfg.Name, Context: c.contextName(), Variant: string(dec.Variant)}
+		}
+	}
+	e.mu.Lock()
 	e.contexts = append(e.contexts, c)
 	e.mu.Unlock()
 	e.metrics.ContextsRegistered.Add(1)
@@ -420,6 +459,9 @@ func (e *Engine) register(c analyzable) {
 			e.sink.Emit(*dup)
 		}
 		e.sink.Emit(obs.ContextRegistered{Engine: e.cfg.Name, Context: c.contextName()})
+		if warm != nil {
+			e.sink.Emit(*warm)
+		}
 	}
 }
 
@@ -452,16 +494,20 @@ func (e *Engine) logTransition(t Transition) {
 // index of the round being closed (WindowClosed reports it 1-based to match
 // the legacy trace wording); finished is the number of instances that were
 // folded before decision time; cooldown is the number of unmonitored
-// creations the context will skip next. It returns the variant future
-// instantiations should use.
-func (e *Engine) closeWindow(name string, agg *costAgg, current collections.VariantID, round int, threshold int64, finished, cooldown int) collections.VariantID {
-	e.metrics.RuleEvaluations.Add(1)
-	if d := decide(agg, current, e.cfg.Rule, e.cfg.AdaptiveSizeSpread, threshold); d.ok {
-		e.logTransition(Transition{
-			Context: name, From: current, To: d.switchTo,
-			Round: round, Ratios: d.ratios, When: time.Now(),
-		})
-		current = d.switchTo
+// creations the context will skip next; skipRule holds a warm-started
+// context on its restored variant — the window still closes (telemetry,
+// cooldown, round advance) but no rule is evaluated and no transition can
+// occur. It returns the variant future instantiations should use.
+func (e *Engine) closeWindow(name string, agg *costAgg, current collections.VariantID, round int, threshold int64, finished, cooldown int, skipRule bool) collections.VariantID {
+	if !skipRule {
+		e.metrics.RuleEvaluations.Add(1)
+		if d := decide(agg, current, e.cfg.Rule, e.cfg.AdaptiveSizeSpread, threshold); d.ok {
+			e.logTransition(Transition{
+				Context: name, From: current, To: d.switchTo,
+				Round: round, Ratios: d.ratios, When: time.Now(),
+			})
+			current = d.switchTo
+		}
 	}
 	e.metrics.WindowsClosed.Add(1)
 	if cooldown > 0 {

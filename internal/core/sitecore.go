@@ -64,10 +64,11 @@ type siteCore[C any, M any] struct {
 	name string // final after Engine.register (duplicate disambiguation)
 
 	// Immutable after construction.
-	factories map[collections.VariantID]func(int) C
-	wrap      func(C, *profile) *M // wrap a collection in a fresh monitor
-	unwrap    func(*M) C           // view the monitor as the abstraction
-	threshold int64                // adaptive-variant transition threshold
+	abstraction string                                // "list", "set", "map"
+	factories   map[collections.VariantID]func(int) C //
+	wrap        func(C, *profile) *M                  // wrap a collection in a fresh monitor
+	unwrap      func(*M) C                            // view the monitor as the abstraction
+	threshold   int64                                 // adaptive-variant transition threshold
 
 	// state is the lock-free creation gate (see the file comment).
 	state atomic.Int64
@@ -88,14 +89,28 @@ type siteCore[C any, M any] struct {
 	// variant) per model set (warnedFor tracks which set it applies to).
 	missingWarned map[collections.VariantID]bool
 	warnedFor     *perfmodel.Models
+
+	// Workload-shape accounting for warm start and calibration (guarded by
+	// mu). winProf aggregates the current window's folded workloads and is
+	// reset at each window close; siteProf aggregates over the context's
+	// lifetime. Both are fed exactly where a record's folded flag flips to
+	// true — the model-swap re-fold path must not double-count an instance.
+	winProf  WorkloadProfile
+	siteProf WorkloadProfile
+	// warm marks a context restored from a WarmStarter: rule evaluation is
+	// skipped while the observed window profile stays within DriftThreshold
+	// of warmProf (the profile the persisted decision was made under).
+	warm     bool
+	warmProf WorkloadProfile
 }
 
 // init populates a zero siteCore in place (it contains atomics and a mutex,
 // so it must never be copied after first use).
-func (c *siteCore[C, M]) init(e *Engine, o ctxOptions, factories map[collections.VariantID]func(int) C,
+func (c *siteCore[C, M]) init(e *Engine, o ctxOptions, abstraction string, factories map[collections.VariantID]func(int) C,
 	wrap func(C, *profile) *M, unwrap func(*M) C, threshold int64) {
 	c.e = e
 	c.name = o.name
+	c.abstraction = abstraction
 	c.factories = factories
 	c.wrap = wrap
 	c.unwrap = unwrap
@@ -248,7 +263,10 @@ func (c *siteCore[C, M]) analyze() {
 	reclaimed := 0
 	for _, r := range c.window {
 		if !r.folded && r.ref.Value() == nil {
-			c.agg.fold(r.p.snapshot())
+			w := r.p.snapshot()
+			c.agg.fold(w)
+			c.winProf.observe(w)
+			c.siteProf.observe(w)
 			r.folded = true
 			reclaimed++
 		}
@@ -268,20 +286,97 @@ func (c *siteCore[C, M]) analyze() {
 	finished := c.agg.folded
 	for _, r := range c.window {
 		if !r.folded {
-			c.agg.fold(r.p.snapshot())
+			w := r.p.snapshot()
+			c.agg.fold(w)
+			c.winProf.observe(w)
+			c.siteProf.observe(w)
 			r.folded = true
+		}
+	}
+	// A warm-started context holds its restored variant without evaluating
+	// the rule — until the window's observed profile drifts past the
+	// configured threshold from the profile the persisted decision was made
+	// under. Crossing it sheds the warm state permanently: from this window
+	// on the context selects like any cold one.
+	skipRule := false
+	if c.warm {
+		if drift := Drift(c.warmProf, c.winProf); drift <= c.e.cfg.DriftThreshold {
+			skipRule = true
+		} else {
+			c.warm = false
+			c.e.metrics.DriftReopens.Add(1)
+			if c.e.sink != nil {
+				c.e.sink.Emit(obs.CalibrationDrift{
+					Engine:    c.e.cfg.Name,
+					Context:   c.name,
+					Drift:     drift,
+					Threshold: c.e.cfg.DriftThreshold,
+				})
+			}
 		}
 	}
 	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
 	cur := c.cur.Load()
-	next := c.e.closeWindow(c.name, c.agg, cur.id, c.round, c.threshold, finished, cooldown)
+	next := c.e.closeWindow(c.name, c.agg, cur.id, c.round, c.threshold, finished, cooldown, skipRule)
 	if next != cur.id {
 		c.cur.Store(&curVariant[C]{id: next, factory: c.factories[next]})
 	}
 	c.window = c.window[:0]
 	c.agg = c.buildAgg()
+	c.winProf = WorkloadProfile{}
 	c.round++
 	c.state.Store(int64(cooldown)) // 0 reopens the window immediately
+}
+
+// warmStart restores a persisted site decision before the context joins the
+// analysis schedule. It refuses (false) a variant outside the candidate pool
+// — a stale store must never strand a site on a variant the selection rule
+// cannot reason about.
+func (c *siteCore[C, M]) warmStart(dec WarmDecision) bool {
+	f, ok := c.factories[dec.Variant]
+	if !ok {
+		return false
+	}
+	inPool := false
+	for _, v := range c.candidates {
+		if v == dec.Variant {
+			inPool = true
+			break
+		}
+	}
+	if !inPool {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cur.Store(&curVariant[C]{id: dec.Variant, factory: f})
+	c.warm = true
+	c.warmProf = dec.Profile
+	return true
+}
+
+// siteSnapshot captures the context's externally visible state for the
+// warm-start store and the tuner's benchmark planning. A warm context that
+// has not yet observed a window of its own reports the persisted profile, so
+// short runs never erode a previously learned workload shape.
+func (c *siteCore[C, M]) siteSnapshot() SiteSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prof := c.siteProf
+	if prof.Instances == 0 && c.warm {
+		prof = c.warmProf
+	}
+	cands := make([]collections.VariantID, len(c.candidates))
+	copy(cands, c.candidates)
+	return SiteSnapshot{
+		Name:        c.name,
+		Abstraction: c.abstraction,
+		Variant:     c.cur.Load().id,
+		Candidates:  cands,
+		Rounds:      c.round,
+		Warm:        c.warm,
+		Profile:     prof,
+	}
 }
 
 // neededFolds converts the finished ratio into an instance count.

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/collections"
+	"repro/internal/obs"
+)
+
+// fakeStarter is an in-memory WarmStarter.
+type fakeStarter map[string]WarmDecision
+
+func (f fakeStarter) WarmLookup(ctx string) (WarmDecision, bool) {
+	d, ok := f[ctx]
+	return d, ok
+}
+
+// lookupHeavyProfile mirrors churnLists(n, 500, 500): balanced add/contains
+// mix at mean size 500.
+func lookupHeavyProfile() WorkloadProfile {
+	return WorkloadProfile{Adds: 500, Contains: 500, Instances: 1, MeanSize: 500, MaxSize: 500}
+}
+
+func TestDrift(t *testing.T) {
+	base := lookupHeavyProfile()
+	if d := Drift(base, base); d != 0 {
+		t.Errorf("Drift(p, p) = %g, want 0", d)
+	}
+	if d := Drift(base, WorkloadProfile{}); d != 0 {
+		t.Errorf("Drift against an unobserved profile = %g, want 0", d)
+	}
+	// Same mix, 16x size shift: size component alone reaches 1.
+	big := base
+	big.MeanSize = 500 * 16
+	if d := Drift(base, big); d < 0.99 || d > 1.01 {
+		t.Errorf("Drift at 16x size = %g, want ~1", d)
+	}
+	// Disjoint op mixes at the same size: total-variation distance 1.
+	addsOnly := WorkloadProfile{Adds: 100, Instances: 1, MeanSize: 500}
+	containsOnly := WorkloadProfile{Contains: 100, Instances: 1, MeanSize: 500}
+	if d := Drift(addsOnly, containsOnly); d != 1 {
+		t.Errorf("Drift of disjoint mixes = %g, want 1", d)
+	}
+	// An active profile against a silent one is maximal mix drift.
+	silent := WorkloadProfile{Instances: 1, MeanSize: 500}
+	if d := Drift(addsOnly, silent); d != 1 {
+		t.Errorf("Drift active vs silent = %g, want 1", d)
+	}
+	if d := Drift(base, addsOnly); d != 0.5 {
+		t.Errorf("Drift 50/50 vs adds-only = %g, want 0.5", d)
+	}
+}
+
+func TestWarmStartRestoresVariant(t *testing.T) {
+	col := obs.NewCollector()
+	e := NewEngineManual(Config{
+		WindowSize: 10, CooldownWindows: -1, Sink: col, Name: "warm",
+		WarmStart: fakeStarter{
+			"site:list": {Variant: collections.HashArrayListID, Profile: lookupHeavyProfile()},
+		},
+	})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("site:list"))
+	if got := ctx.CurrentVariant(); got != collections.HashArrayListID {
+		t.Fatalf("warm-started variant = %s, want HashArrayList", got)
+	}
+	if got := e.Metrics().WarmStarts.Load(); got != 1 {
+		t.Errorf("WarmStarts = %d, want 1", got)
+	}
+	ev, ok := firstOfKind(col.Events(), obs.KindWarmStart)
+	if !ok {
+		t.Fatal("no WarmStart event emitted")
+	}
+	ws := ev.(obs.WarmStart)
+	if ws.Context != "site:list" || ws.Variant != string(collections.HashArrayListID) {
+		t.Errorf("WarmStart event = %+v", ws)
+	}
+	// An unknown site starts cold, silently.
+	cold := NewListContext[int](e, WithName("other:list"))
+	if got := cold.CurrentVariant(); got != collections.ArrayListID {
+		t.Errorf("unknown site warm-started to %s", got)
+	}
+	if got := e.Metrics().WarmStarts.Load(); got != 1 {
+		t.Errorf("WarmStarts after unknown site = %d, want 1", got)
+	}
+}
+
+func TestWarmStartRejectsVariantOutsideCandidatePool(t *testing.T) {
+	e := NewEngineManual(Config{
+		WindowSize: 10, CooldownWindows: -1,
+		WarmStart: fakeStarter{
+			"site:list": {Variant: collections.HashMapID}, // not a list variant
+		},
+	})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("site:list"))
+	if got := ctx.CurrentVariant(); got != collections.ArrayListID {
+		t.Fatalf("variant = %s, want ArrayList (stale store entry ignored)", got)
+	}
+	if got := e.Metrics().WarmStarts.Load(); got != 0 {
+		t.Errorf("WarmStarts = %d, want 0", got)
+	}
+}
+
+func TestWarmContextHoldsVariantOnStableWorkload(t *testing.T) {
+	col := obs.NewCollector()
+	e := NewEngineManual(Config{
+		WindowSize: 10, FinishedRatio: 0.6, CooldownWindows: -1, Sink: col,
+		WarmStart: fakeStarter{
+			"site:list": {Variant: collections.HashArrayListID, Profile: lookupHeavyProfile()},
+		},
+	})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("site:list"))
+	// The live workload matches the persisted profile, so windows close
+	// without any rule evaluation and the restored variant holds.
+	for round := 0; round < 3; round++ {
+		churnLists(ctx, 10, 500, 500)
+		e.AnalyzeNow()
+	}
+	if got := ctx.Round(); got != 3 {
+		t.Fatalf("rounds = %d, want 3 (windows must still close while warm)", got)
+	}
+	if got := ctx.CurrentVariant(); got != collections.HashArrayListID {
+		t.Errorf("variant = %s, want HashArrayList held", got)
+	}
+	if got := len(e.Transitions()); got != 0 {
+		t.Errorf("transitions = %d, want 0 on a stable warm site", got)
+	}
+	if got := e.Metrics().RuleEvaluations.Load(); got != 0 {
+		t.Errorf("RuleEvaluations = %d, want 0 while warm", got)
+	}
+	if got := e.Metrics().WindowsClosed.Load(); got != 3 {
+		t.Errorf("WindowsClosed = %d, want 3", got)
+	}
+	snap := e.SiteSnapshots()
+	if len(snap) != 1 || !snap[0].Warm || snap[0].Variant != collections.HashArrayListID {
+		t.Errorf("snapshot = %+v, want warm HashArrayList", snap)
+	}
+}
+
+func TestWarmContextReopensOnDrift(t *testing.T) {
+	col := obs.NewCollector()
+	e := NewEngineManual(Config{
+		WindowSize: 10, FinishedRatio: 0.6, CooldownWindows: -1, Sink: col,
+		WarmStart: fakeStarter{
+			"site:list": {Variant: collections.HashArrayListID, Profile: lookupHeavyProfile()},
+		},
+	})
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("site:list"))
+	// The workload shifted to add-only tiny lists: far past the threshold.
+	churnLists(ctx, 10, 10, 0)
+	e.AnalyzeNow()
+
+	ev, ok := firstOfKind(col.Events(), obs.KindCalibrationDrift)
+	if !ok {
+		t.Fatal("no CalibrationDrift event emitted")
+	}
+	cd := ev.(obs.CalibrationDrift)
+	if cd.Context != "site:list" || cd.Drift <= cd.Threshold {
+		t.Errorf("CalibrationDrift event = %+v", cd)
+	}
+	if got := e.Metrics().DriftReopens.Load(); got != 1 {
+		t.Errorf("DriftReopens = %d, want 1", got)
+	}
+	// The drifting window itself is evaluated normally — no decision lag.
+	if got := e.Metrics().RuleEvaluations.Load(); got != 1 {
+		t.Errorf("RuleEvaluations = %d, want 1 (the drifted window evaluates)", got)
+	}
+	if snap := e.SiteSnapshots(); snap[0].Warm {
+		t.Error("context still warm after drift")
+	}
+	// With selection re-opened, the mis-restored variant is corrected.
+	churnLists(ctx, 10, 10, 0)
+	e.AnalyzeNow()
+	if got := ctx.CurrentVariant(); got != collections.ArrayListID {
+		t.Errorf("variant = %s, want ArrayList after drift re-opened selection", got)
+	}
+}
+
+func TestSiteSnapshotCarriesProfileAndAbstraction(t *testing.T) {
+	e := testEngine(Rtime())
+	defer e.Close()
+	ctx := NewListContext[int](e, WithName("snap:list"))
+	churnLists(ctx, 10, 100, 50)
+	e.AnalyzeNow()
+	snaps := e.SiteSnapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("SiteSnapshots = %d entries, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Name != "snap:list" || s.Abstraction != "list" {
+		t.Errorf("snapshot identity = %q/%q", s.Name, s.Abstraction)
+	}
+	if s.Rounds != 1 || s.Warm {
+		t.Errorf("snapshot rounds/warm = %d/%v, want 1/false", s.Rounds, s.Warm)
+	}
+	if s.Profile.Instances != 10 || s.Profile.MeanSize != 100 || s.Profile.Adds != 10*100 {
+		t.Errorf("snapshot profile = %+v", s.Profile)
+	}
+	if len(s.Candidates) == 0 {
+		t.Error("snapshot lost the candidate pool")
+	}
+}

@@ -28,6 +28,11 @@ type Obs struct {
 	// Models overrides every experiment engine's cost models (the -models
 	// flag; nil = the analytic defaults).
 	Models *perfmodel.Models
+	// WarmStart supplies persisted site decisions to the engine-driven
+	// experiments (the -store flag; nil = cold starts). Snapshots receives
+	// each measured run's per-site state for persistence.
+	WarmStart core.WarmStarter
+	Snapshots func([]core.SiteSnapshot)
 }
 
 // PrintTable2 renders the collection-variant inventory (paper Table 2).
@@ -74,6 +79,8 @@ func RunTable5Obs(sc Scale, o Obs) []apps.Row {
 		Metrics:     o.Metrics,
 		Parallelism: o.Parallelism,
 		Models:      o.Models,
+		WarmStart:   o.WarmStart,
+		Snapshots:   o.Snapshots,
 	}
 	return apps.MeasureAll(cfg)
 }

@@ -136,6 +136,27 @@ func decodeKind(kind Kind, raw json.RawMessage) (Event, error) {
 	case KindCheckDivergence:
 		var e CheckDivergence
 		return e, unmarshal(&e)
+	case KindWarmStart:
+		var e WarmStart
+		return e, unmarshal(&e)
+	case KindCalibrationStarted:
+		var e CalibrationStarted
+		return e, unmarshal(&e)
+	case KindCalibrationCompleted:
+		var e CalibrationCompleted
+		return e, unmarshal(&e)
+	case KindCalibrationDrift:
+		var e CalibrationDrift
+		return e, unmarshal(&e)
+	case KindStoreSaved:
+		var e StoreSaved
+		return e, unmarshal(&e)
+	case KindStoreLoaded:
+		var e StoreLoaded
+		return e, unmarshal(&e)
+	case KindStoreRejected:
+		var e StoreRejected
+		return e, unmarshal(&e)
 	default:
 		return nil, fmt.Errorf("obs: unknown event kind %q", kind)
 	}

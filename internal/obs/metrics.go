@@ -130,6 +130,22 @@ type Registry struct {
 	// the active models lack a curve the rule needs.
 	ModelSwaps Counter
 	ModelGaps  Counter
+	// WarmStarts counts contexts restored from a persisted site decision;
+	// DriftReopens counts warm contexts whose observed profile drifted past
+	// the threshold, re-enabling rule evaluation.
+	WarmStarts   Counter
+	DriftReopens Counter
+	// CalibrationRuns counts completed online-calibration cycles
+	// (internal/tuner); CalibrationCells counts the shadow-benchmark cells
+	// those cycles measured.
+	CalibrationRuns  Counter
+	CalibrationCells Counter
+	// StoreSaves/StoreLoads count successful warm-start store writes and
+	// reads; StoreRejects counts store files discarded by validation
+	// (corruption, schema or fingerprint mismatch).
+	StoreSaves   Counter
+	StoreLoads   Counter
+	StoreRejects Counter
 
 	mu          sync.Mutex
 	transitions map[TransitionKey]int64
@@ -204,6 +220,13 @@ func (r *Registry) counterRows() []struct {
 		{"collectionswitch_config_clamps_total", "configuration fields rewritten by validation", r.ConfigClamps.Load()},
 		{"collectionswitch_model_swaps_total", "runtime cost-model hot-swaps", r.ModelSwaps.Load()},
 		{"collectionswitch_model_gaps_total", "candidates skipped for missing model curves", r.ModelGaps.Load()},
+		{"collectionswitch_warm_starts_total", "contexts restored from persisted site decisions", r.WarmStarts.Load()},
+		{"collectionswitch_drift_reopens_total", "warm contexts re-opened after workload drift", r.DriftReopens.Load()},
+		{"collectionswitch_calibration_runs_total", "completed online-calibration cycles", r.CalibrationRuns.Load()},
+		{"collectionswitch_calibration_cells_total", "shadow-benchmark cells measured", r.CalibrationCells.Load()},
+		{"collectionswitch_store_saves_total", "warm-start store writes", r.StoreSaves.Load()},
+		{"collectionswitch_store_loads_total", "warm-start store reads accepted", r.StoreLoads.Load()},
+		{"collectionswitch_store_rejects_total", "warm-start store files discarded by validation", r.StoreRejects.Load()},
 	}
 }
 

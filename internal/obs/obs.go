@@ -60,6 +60,13 @@ const (
 	KindBenchmarkProgress    Kind = "benchmark_progress"
 	KindCheckCompleted       Kind = "check_completed"
 	KindCheckDivergence      Kind = "check_divergence"
+	KindWarmStart            Kind = "warm_start"
+	KindCalibrationStarted   Kind = "calibration_started"
+	KindCalibrationCompleted Kind = "calibration_completed"
+	KindCalibrationDrift     Kind = "calibration_drift"
+	KindStoreSaved           Kind = "store_saved"
+	KindStoreLoaded          Kind = "store_loaded"
+	KindStoreRejected        Kind = "store_rejected"
 )
 
 // Event is one structured framework event. Concrete types are plain value
@@ -353,6 +360,120 @@ func (e CheckCompleted) Logline() (string, []any) {
 		return "checked %s: DIVERGED (seed %d, %d ops)", []any{e.Variant, e.Seed, e.Ops}
 	}
 	return "checked %s: ok (seed %d, %d ops)", []any{e.Variant, e.Seed, e.Ops}
+}
+
+// WarmStart reports an allocation context restored from a persisted site
+// decision at registration time: the context begins on Variant (the variant
+// the previous process converged to) instead of the abstraction default, and
+// its selection rule stays dormant until the observed workload profile
+// drifts past the engine's drift threshold.
+type WarmStart struct {
+	Engine  string `json:"engine,omitempty"`
+	Context string `json:"context"`
+	Variant string `json:"variant"`
+}
+
+func (WarmStart) EventKind() Kind      { return KindWarmStart }
+func (e WarmStart) EngineName() string { return e.Engine }
+func (e WarmStart) Logline() (string, []any) {
+	return "warm start at %s: variant %s restored from store", []any{e.Context, e.Variant}
+}
+
+// CalibrationStarted reports the beginning of one online calibration cycle
+// (internal/tuner): Sites is the number of allocation contexts with observed
+// workload data, Cells the number of (variant, op, size) shadow-benchmark
+// cells planned for the cycle (the duty-cycle budget may cut it short).
+type CalibrationStarted struct {
+	Engine string `json:"engine,omitempty"`
+	Sites  int    `json:"sites"`
+	Cells  int    `json:"cells"`
+}
+
+func (CalibrationStarted) EventKind() Kind      { return KindCalibrationStarted }
+func (e CalibrationStarted) EngineName() string { return e.Engine }
+func (e CalibrationStarted) Logline() (string, []any) {
+	return "calibration started: %d sites, %d cells planned", []any{e.Sites, e.Cells}
+}
+
+// CalibrationCompleted reports the end of one calibration cycle: Measured of
+// the planned cells were shadow-benchmarked before the duty-cycle budget ran
+// out, taking ShadowNs of wall-clock; Swapped marks cycles that folded the
+// measurements into the engine's models via SetModels.
+type CalibrationCompleted struct {
+	Engine   string `json:"engine,omitempty"`
+	Measured int    `json:"measured"`
+	Planned  int    `json:"planned"`
+	ShadowNs int64  `json:"shadow_ns"`
+	Swapped  bool   `json:"swapped,omitempty"`
+}
+
+func (CalibrationCompleted) EventKind() Kind      { return KindCalibrationCompleted }
+func (e CalibrationCompleted) EngineName() string { return e.Engine }
+func (e CalibrationCompleted) Logline() (string, []any) {
+	return "calibration completed: %d/%d cells in %dns", []any{e.Measured, e.Planned, e.ShadowNs}
+}
+
+// CalibrationDrift reports a warm-started context leaving its dormant state:
+// the workload profile observed over the latest monitoring window diverged
+// from the persisted profile by Drift (≥ Threshold), so the context resumes
+// normal rule evaluation — the monitoring window "re-opens".
+type CalibrationDrift struct {
+	Engine    string  `json:"engine,omitempty"`
+	Context   string  `json:"context"`
+	Drift     float64 `json:"drift"`
+	Threshold float64 `json:"threshold"`
+}
+
+func (CalibrationDrift) EventKind() Kind      { return KindCalibrationDrift }
+func (e CalibrationDrift) EngineName() string { return e.Engine }
+func (e CalibrationDrift) Logline() (string, []any) {
+	return "drift at %s: %.3f exceeds threshold %.3f, rule evaluation resumed",
+		[]any{e.Context, e.Drift, e.Threshold}
+}
+
+// StoreSaved reports one atomic write of the warm-start store: Sites site
+// decisions and Curves model curves persisted to Path.
+type StoreSaved struct {
+	Path   string `json:"path"`
+	Sites  int    `json:"sites"`
+	Curves int    `json:"curves"`
+}
+
+func (StoreSaved) EventKind() Kind    { return KindStoreSaved }
+func (StoreSaved) EngineName() string { return "" }
+func (e StoreSaved) Logline() (string, []any) {
+	return "store saved to %s (%d sites, %d curves)", []any{e.Path, e.Sites, e.Curves}
+}
+
+// StoreLoaded reports a warm-start store accepted at startup: the machine
+// fingerprint matched and Sites site decisions plus Curves refined model
+// curves are available for warm starts.
+type StoreLoaded struct {
+	Path   string `json:"path"`
+	Sites  int    `json:"sites"`
+	Curves int    `json:"curves"`
+}
+
+func (StoreLoaded) EventKind() Kind    { return KindStoreLoaded }
+func (StoreLoaded) EngineName() string { return "" }
+func (e StoreLoaded) Logline() (string, []any) {
+	return "store loaded from %s (%d sites, %d curves)", []any{e.Path, e.Sites, e.Curves}
+}
+
+// StoreRejected reports a warm-start store that failed validation — torn
+// JSON, an unknown schema version, or a machine-fingerprint mismatch — and
+// was discarded wholesale: the engine falls back to the analytic defaults
+// with no partial state. Exactly one StoreRejected is emitted per failed
+// load attempt.
+type StoreRejected struct {
+	Path   string `json:"path"`
+	Reason string `json:"reason"`
+}
+
+func (StoreRejected) EventKind() Kind    { return KindStoreRejected }
+func (StoreRejected) EngineName() string { return "" }
+func (e StoreRejected) Logline() (string, []any) {
+	return "store rejected at %s: %s", []any{e.Path, e.Reason}
 }
 
 // CheckDivergence reports a semantic divergence between a variant and the

@@ -33,6 +33,13 @@ func allEvents() []Event {
 		CheckCompleted{Variant: "list/linked", Abstraction: "list", Seed: 7, Ops: 400, Diverged: true},
 		CheckDivergence{Variant: "list/linked", Abstraction: "list", Seed: 7,
 			OpIndex: 3, Ops: 4, Detail: "Get(2) = 5, oracle 9"},
+		WarmStart{Engine: "e1", Context: "site:a", Variant: "list/hasharray"},
+		CalibrationStarted{Engine: "e1", Sites: 2, Cells: 48},
+		CalibrationCompleted{Engine: "e1", Measured: 31, Planned: 48, ShadowNs: 812_000, Swapped: true},
+		CalibrationDrift{Engine: "e1", Context: "site:a", Drift: 0.82, Threshold: 0.5},
+		StoreSaved{Path: "/tmp/store/store.json", Sites: 2, Curves: 96},
+		StoreLoaded{Path: "/tmp/store/store.json", Sites: 2, Curves: 96},
+		StoreRejected{Path: "/tmp/store/store.json", Reason: "fingerprint mismatch"},
 	}
 }
 
@@ -43,6 +50,8 @@ func TestEventTaxonomyCovered(t *testing.T) {
 		KindWindowClosed, KindTransition, KindCooldownEntered,
 		KindConfigClamped, KindEngineClosed,
 		KindCheckCompleted, KindCheckDivergence,
+		KindWarmStart, KindCalibrationStarted, KindCalibrationCompleted,
+		KindCalibrationDrift, KindStoreSaved, KindStoreLoaded, KindStoreRejected,
 	}
 	seen := make(map[Kind]bool)
 	for _, e := range allEvents() {

@@ -1,0 +1,71 @@
+package perfmodel
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// The paper concedes its benchmarked cost models are machine-specific
+// (Section 6): curves fitted on one machine mislead selection on another.
+// A Fingerprint makes that dependency explicit — refined models and
+// persisted site decisions carry the identity of the machine they were
+// measured on, and the warm-start store rejects state from a different
+// machine instead of silently applying it.
+
+// Fingerprint identifies the machine and runtime a model set was measured
+// on. Two fingerprints must be equal for persisted measurements to be
+// trusted.
+type Fingerprint struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUModel   string `json:"cpu_model"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// CollectFingerprint samples the current machine and runtime.
+func CollectFingerprint() Fingerprint {
+	return Fingerprint{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUModel:   cpuModel(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// Matches reports whether two fingerprints identify the same machine and
+// runtime configuration.
+func (f Fingerprint) Matches(other Fingerprint) bool { return f == other }
+
+// IsZero reports whether the fingerprint carries no machine identity.
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// String renders the fingerprint for logs and rejection messages.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%s/%s %q x%d (%s)", f.GOOS, f.GOARCH, f.CPUModel, f.GOMAXPROCS, f.GoVersion)
+}
+
+// cpuModel returns a human-readable CPU model string. On Linux it reads the
+// first "model name" line of /proc/cpuinfo; elsewhere (or when unreadable)
+// it degrades to the architecture, which still discriminates across the
+// common cross-machine copy mistakes.
+func cpuModel() string {
+	if runtime.GOOS == "linux" {
+		if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				name, value, found := strings.Cut(line, ":")
+				if !found {
+					continue
+				}
+				switch strings.TrimSpace(name) {
+				case "model name", "Processor", "cpu model":
+					return strings.TrimSpace(value)
+				}
+			}
+		}
+	}
+	return "unknown (" + runtime.GOARCH + ")"
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/collections"
@@ -32,12 +33,16 @@ type jsonCurve struct {
 }
 
 type jsonModels struct {
-	Curves []jsonCurve `json:"curves"`
+	// Fingerprint identifies the machine a measured model set was built
+	// on; omitted for machine-independent (analytic) models. Files written
+	// before fingerprints existed load as fingerprint-free.
+	Fingerprint *Fingerprint `json:"fingerprint,omitempty"`
+	Curves      []jsonCurve  `json:"curves"`
 }
 
 // WriteJSON serializes the models.
 func (m *Models) WriteJSON(w io.Writer) error {
-	doc := jsonModels{Curves: make([]jsonCurve, 0, len(m.curves))}
+	doc := jsonModels{Fingerprint: m.fp, Curves: make([]jsonCurve, 0, len(m.curves))}
 	for k, cv := range m.curves {
 		jc := jsonCurve{
 			Variant:   string(k.Variant),
@@ -76,6 +81,9 @@ func ReadJSON(r io.Reader) (*Models, error) {
 		return nil, fmt.Errorf("perfmodel: decoding models: %w", err)
 	}
 	m := NewModels()
+	if doc.Fingerprint != nil {
+		m.fp = doc.Fingerprint
+	}
 	for _, c := range doc.Curves {
 		if len(c.Pieces) == 0 {
 			return nil, fmt.Errorf("perfmodel: curve %s/%s/%s has no pieces", c.Variant, c.Op, c.Dimension)
@@ -96,14 +104,46 @@ func ReadJSON(r io.Reader) (*Models, error) {
 	return m, nil
 }
 
-// SaveFile writes the models to path.
+// SaveFile writes the models to path crash-safely: the JSON is written to a
+// temporary file in the target directory, fsynced, and renamed into place,
+// so a crash mid-write leaves either the previous file or the complete new
+// one — never a torn half-model set. (A truncated file would anyway be
+// rejected by LoadFile's JSON decode rather than yield partial models.)
 func (m *Models) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return AtomicWriteFile(path, m.WriteJSON)
+}
+
+// AtomicWriteFile streams write's output into a temp file next to path,
+// fsyncs, and renames over path — the crash-safety discipline shared by
+// SaveFile and the warm-start store (internal/tuner). The temp file is
+// removed on any failure.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return m.WriteJSON(f)
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads models from path.

@@ -94,6 +94,39 @@ func (c curve) eval(s float64) float64 {
 // safe for concurrent reads after construction.
 type Models struct {
 	curves map[key]curve
+	// fp, when non-nil, records the machine the curves were measured on
+	// (empirically built or calibration-refined model sets; the analytic
+	// defaults are machine-independent and carry none).
+	fp *Fingerprint
+}
+
+// SetFingerprint attaches the machine identity the curves were measured on.
+func (m *Models) SetFingerprint(f Fingerprint) { m.fp = &f }
+
+// MeasuredOn returns the machine fingerprint attached to the model set,
+// ok=false for machine-independent (analytic) models.
+func (m *Models) MeasuredOn() (Fingerprint, bool) {
+	if m.fp == nil {
+		return Fingerprint{}, false
+	}
+	return *m.fp, true
+}
+
+// Clone returns an independent copy: mutating the clone (Set, Merge,
+// OverlayMeasured) never affects the original, so a running engine's active
+// models can be refined off to the side and hot-swapped in atomically.
+func (m *Models) Clone() *Models {
+	out := NewModels()
+	for k, cv := range m.curves {
+		pieces := make([]piece, len(cv.pieces))
+		copy(pieces, cv.pieces)
+		out.curves[k] = curve{pieces: pieces}
+	}
+	if m.fp != nil {
+		fp := *m.fp
+		out.fp = &fp
+	}
+	return out
 }
 
 // NewModels returns an empty model set.

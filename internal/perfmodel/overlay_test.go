@@ -1,0 +1,222 @@
+package perfmodel
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/collections"
+	"repro/internal/polyfit"
+)
+
+func TestOverlayMeasuredOverridesOnlySampledBands(t *testing.T) {
+	m := NewModels()
+	// Prior: cost(s) = 2s, a clean line we can probe anywhere.
+	m.Set(collections.ArrayListID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{0, 2}})
+
+	m.OverlayMeasured(collections.ArrayListID, OpContains, DimTimeNS, []MeasuredPoint{
+		{Size: 100, Value: 50},
+		{Size: 400, Value: 90},
+	})
+
+	cases := []struct {
+		size, want float64
+		where      string
+	}{
+		{10, 20, "far below the sampled region: prior curve"},
+		{66, 132, "just below the band edge (100/1.5): prior curve"},
+		{100, 50, "at the first sample: measured value"},
+		{150, 50, "inside the first band (below geomean 200): measured value"},
+		{300, 90, "between geomean and second sample: second measured value"},
+		{400, 90, "at the second sample: measured value"},
+		{601, 1202, "just above 400*1.5: prior curve"},
+		{5000, 10000, "far above the sampled region: prior curve"},
+	}
+	for _, c := range cases {
+		if got := m.Cost(collections.ArrayListID, OpContains, DimTimeNS, c.size); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Cost(%g) = %g, want %g (%s)", c.size, got, c.want, c.where)
+		}
+	}
+}
+
+func TestOverlayMeasuredPreservesPiecewisePrior(t *testing.T) {
+	m := NewModels()
+	// Piecewise prior (an adaptive variant's kinked curve): 1 below 64, 10 above.
+	m.SetPiecewise(collections.AdaptiveListID, OpContains, DimTimeNS, 64,
+		polyfit.Poly{Coeffs: []float64{1}}, polyfit.Poly{Coeffs: []float64{10}})
+
+	// Sample far above the kink; the below-kink regime must survive.
+	m.OverlayMeasured(collections.AdaptiveListID, OpContains, DimTimeNS, []MeasuredPoint{
+		{Size: 1000, Value: 7},
+	})
+	if got := m.Cost(collections.AdaptiveListID, OpContains, DimTimeNS, 10); got != 1 {
+		t.Errorf("below-kink prior overwritten: Cost(10) = %g, want 1", got)
+	}
+	if got := m.Cost(collections.AdaptiveListID, OpContains, DimTimeNS, 1000); got != 7 {
+		t.Errorf("measured band lost: Cost(1000) = %g, want 7", got)
+	}
+	if got := m.Cost(collections.AdaptiveListID, OpContains, DimTimeNS, 100); got != 10 {
+		t.Errorf("above-kink prior below the band overwritten: Cost(100) = %g, want 10", got)
+	}
+	if got := m.Cost(collections.AdaptiveListID, OpContains, DimTimeNS, 1e6); got != 10 {
+		t.Errorf("prior tail overwritten: Cost(1e6) = %g, want 10", got)
+	}
+}
+
+func TestOverlayMeasuredWithoutPrior(t *testing.T) {
+	m := NewModels()
+	m.OverlayMeasured(collections.ArrayListID, OpIterate, DimTimeNS, []MeasuredPoint{
+		{Size: 10, Value: 3},
+		{Size: 100, Value: 30},
+	})
+	if !m.Has(collections.ArrayListID, OpIterate, DimTimeNS) {
+		t.Fatal("overlay without prior created no curve")
+	}
+	// Constant extrapolation at both ends.
+	if got := m.Cost(collections.ArrayListID, OpIterate, DimTimeNS, 1); got != 3 {
+		t.Errorf("Cost(1) = %g, want 3", got)
+	}
+	if got := m.Cost(collections.ArrayListID, OpIterate, DimTimeNS, 1e6); got != 30 {
+		t.Errorf("Cost(1e6) = %g, want 30", got)
+	}
+}
+
+func TestOverlayMeasuredIgnoresGarbagePoints(t *testing.T) {
+	m := NewModels()
+	m.Set(collections.ArrayListID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{5}})
+	m.OverlayMeasured(collections.ArrayListID, OpContains, DimTimeNS, []MeasuredPoint{
+		{Size: -1, Value: 1},
+		{Size: 0, Value: 1},
+		{Size: 10, Value: math.NaN()},
+		{Size: 10, Value: math.Inf(1)},
+	})
+	if got := m.Cost(collections.ArrayListID, OpContains, DimTimeNS, 10); got != 5 {
+		t.Errorf("garbage points changed the curve: Cost(10) = %g, want 5", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := NewModels()
+	m.Set(collections.ArrayListID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{4}})
+	m.SetFingerprint(CollectFingerprint())
+
+	cl := m.Clone()
+	if fp, ok := cl.MeasuredOn(); !ok || !fp.Matches(CollectFingerprint()) {
+		t.Error("clone lost the fingerprint")
+	}
+	cl.OverlayMeasured(collections.ArrayListID, OpContains, DimTimeNS, []MeasuredPoint{{Size: 10, Value: 99}})
+	cl.Set(collections.LinkedListID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{1}})
+
+	if got := m.Cost(collections.ArrayListID, OpContains, DimTimeNS, 10); got != 4 {
+		t.Errorf("overlay on clone mutated the original: Cost = %g, want 4", got)
+	}
+	if m.Has(collections.LinkedListID, OpContains, DimTimeNS) {
+		t.Error("Set on clone leaked into the original")
+	}
+}
+
+func TestFingerprintJSONRoundTrip(t *testing.T) {
+	m := NewModels()
+	m.Set(collections.ArrayListID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{1, 2}})
+	fp := CollectFingerprint()
+	m.SetFingerprint(fp)
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfp, ok := got.MeasuredOn()
+	if !ok {
+		t.Fatal("fingerprint dropped in JSON round-trip")
+	}
+	if !rfp.Matches(fp) {
+		t.Errorf("fingerprint changed in round-trip: %s != %s", rfp, fp)
+	}
+
+	// A model set without a fingerprint (old files) still loads.
+	m2 := NewModels()
+	m2.Set(collections.ArrayListID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{1}})
+	buf.Reset()
+	if err := m2.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got2.MeasuredOn(); ok {
+		t.Error("fingerprint invented for a fingerprint-free file")
+	}
+}
+
+func TestSaveFileIsAtomicAndTornFilesRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "models.json")
+	m := Default()
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp residue after a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only models.json in %s, found %d entries", dir, len(entries))
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != m.Len() {
+		t.Fatalf("round-trip lost curves: %d != %d", loaded.Len(), m.Len())
+	}
+
+	// Simulate a torn write: truncate the file mid-JSON. LoadFile must
+	// reject it with a decode error, not return half a model set.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("LoadFile accepted a truncated model file")
+	} else if !strings.Contains(err.Error(), "decoding models") {
+		t.Errorf("unexpected error for torn file: %v", err)
+	}
+
+	// Overwriting an existing file stays atomic (rename over it).
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("re-save over torn file failed to restore: %v", err)
+	}
+}
+
+func TestUnknownVariantsAgainstCatalog(t *testing.T) {
+	m := NewModels()
+	m.Set(collections.ArrayListID, OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{1}})
+	m.Set("list/not-a-variant", OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{1}})
+	m.Set("map/also-missing", OpContains, DimTimeNS, polyfit.Poly{Coeffs: []float64{1}})
+
+	unknown := UnknownVariants(m)
+	if len(unknown) != 2 {
+		t.Fatalf("UnknownVariants = %v, want 2 entries", unknown)
+	}
+	if unknown[0] != "list/not-a-variant" || unknown[1] != "map/also-missing" {
+		t.Errorf("UnknownVariants = %v, want sorted unknown ids", unknown)
+	}
+	if got := UnknownVariants(Default()); len(got) != 0 {
+		t.Errorf("default models report unknown variants: %v", got)
+	}
+}
