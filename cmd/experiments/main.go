@@ -17,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
@@ -33,6 +35,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write structured framework events (JSONL) to this file")
 	metrics := flag.Bool("metrics", false, "print a metrics summary after each experiment")
 	parallel := flag.Int("parallel", 1, "analysis worker pool per engine (Config.AnalysisParallelism); 1 keeps the deterministic sequential trace ordering, 0 uses GOMAXPROCS")
+	httpAddr := flag.String("http", "", "serve the live introspection endpoints (/metrics, /sites, /sites/{name}/explain, /events, /debug/vars) on this address, e.g. :6060 (see internal/diag)")
+	linger := flag.Duration("linger", 0, "with -http: keep serving this long after the experiments finish (so the endpoints can be inspected), e.g. 30s")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +65,36 @@ func main() {
 	// via experiments.Table6FromEvents / obs.ReadAll). A -models file
 	// replaces the analytic defaults on every experiment engine.
 	o := experiments.Obs{Metrics: obs.NewRegistry(), Parallelism: *parallel}
+
+	// Live introspection (-http): every experiment engine attaches to one
+	// diag server, a flight recorder captures the most recent framework
+	// events (also dumped to stderr on SIGQUIT), and a background
+	// runtime/metrics sampler keeps the GC and live-heap gauges current.
+	var lingerFn func()
+	if *httpAddr != "" {
+		recorder := obs.NewFlightRecorder(1024)
+		o.Sink = recorder
+		server := diag.New(o.Metrics, recorder)
+		o.EngineHook = server.Attach
+		stopSig := diag.NotifySIGQUIT(recorder)
+		defer stopSig()
+		sampler := obs.StartRuntimeSampler(o.Metrics, time.Second)
+		defer sampler.Close()
+		httpSrv, addr, err := server.ListenAndServe(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starting introspection server: %v\n", err)
+			os.Exit(1)
+		}
+		defer httpSrv.Close()
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s (try /metrics, /sites, /events)\n", addr)
+		if *linger > 0 {
+			lingerFn = func() {
+				fmt.Fprintf(os.Stderr, "experiments done; serving http://%s for %s more\n", addr, *linger)
+				time.Sleep(*linger)
+			}
+		}
+	}
+
 	var traceSink *obs.JSONLSink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -76,7 +110,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
 		}()
 		traceSink = obs.NewJSONLSink(f)
-		o.Sink = traceSink
+		// Multi keeps the flight recorder (if -http is on) fed alongside
+		// the trace file; with no recorder it degenerates to the sink.
+		o.Sink = obs.Multi(traceSink, o.Sink)
 	}
 
 	// Warm-start store: decisions and refined models persisted by an
@@ -155,7 +191,10 @@ func main() {
 		for _, id := range []string{"table2", "table4", "fig3", "fig7", "fig5", "fig6", "table5", "overhead"} {
 			run(id)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if lingerFn != nil {
+		lingerFn()
+	}
 }

@@ -12,20 +12,26 @@
 //   - a ring buffer keeping the most recent events in memory, the shape an
 //     always-on service would expose from a debug endpoint;
 //   - a shared metrics registry, rendered as a Prometheus-text summary and
-//     published through expvar.
+//     published through expvar;
+//   - the live introspection server of internal/diag, served on a loopback
+//     port and queried over HTTP for the alert-set context's decision
+//     records — the answer to "why is this context on that variant?".
 //
 // Run with: go run ./examples/telemetry
 package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 
 	"repro/internal/collections"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 )
 
@@ -64,6 +70,7 @@ func main() {
 	}
 	jsonl := obs.NewJSONLSink(f)
 	ring := obs.NewRingSink(8)
+	recorder := obs.NewFlightRecorder(32) // feeds the diag /events endpoint
 	metrics := obs.NewRegistry()
 	metrics.PublishExpvar("collectionswitch") // curl /debug/vars in a real service
 
@@ -78,9 +85,11 @@ func main() {
 		// Figure 7 overhead argument.
 		AnalysisSpans: true,
 		Name:          "telemetry",
-		Sink:          obs.Multi(jsonl, ring),
+		Sink:          obs.Multi(jsonl, ring, recorder),
 		Metrics:       metrics,
 	})
+	server := diag.New(metrics, recorder)
+	server.Attach(engine)
 	ctx := core.NewSetContext[int](engine, core.WithName("telemetry/AlertSet"))
 
 	// The per-query "sensors over threshold" sets flow through the
@@ -166,5 +175,31 @@ func main() {
 	fmt.Println("\nPrometheus exposition:")
 	if _, err := metrics.WriteTo(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "writing metrics:", err)
+	}
+
+	// 4. The live introspection server answers the same questions over
+	// HTTP while the service runs — here it is queried from the process
+	// itself, but any curl works (a closed engine stays inspectable).
+	srv, addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starting introspection server:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("\nintrospection server on http://%s\n", addr)
+	for _, path := range []string{"/sites", "/sites/telemetry/AlertSet/explain", "/events"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "GET", path, ":", err)
+			os.Exit(1)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		const keep = 400
+		out := string(body)
+		if len(out) > keep {
+			out = out[:keep] + "…\n"
+		}
+		fmt.Printf("\nGET %s (%s)\n%s", path, resp.Status, out)
 	}
 }

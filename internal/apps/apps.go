@@ -217,6 +217,10 @@ type Obs struct {
 	// the run completes (before the engine closes) — the hook cmd tools
 	// use to persist decisions into a warm-start store.
 	Snapshots func([]core.SiteSnapshot)
+	// EngineHook, when non-nil, observes the run's engine right after
+	// construction (FullAdap mode only; the other modes create none) —
+	// the diag introspection server attaches here.
+	EngineHook func(*core.Engine)
 }
 
 // Run executes app once in the given mode and returns its measurements.
@@ -247,6 +251,9 @@ func RunObs(app App, mode Mode, rule core.Rule, seed int64, o Obs) Result {
 			WarmStart:           o.WarmStart,
 		})
 		defer engine.Close()
+		if o.EngineHook != nil {
+			o.EngineHook(engine)
+		}
 	}
 	env := NewEnv(mode, engine, seed)
 	start := time.Now()

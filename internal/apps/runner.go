@@ -79,6 +79,9 @@ type RunConfig struct {
 	// demonstrate cold vs warm behavior against a tuner.Store.
 	WarmStart core.WarmStarter
 	Snapshots func([]core.SiteSnapshot)
+	// EngineHook observes every measured run's engine right after
+	// construction (see apps.Obs.EngineHook).
+	EngineHook func(*core.Engine)
 }
 
 // DefaultRunConfig returns the paper's run counts at full scale.
@@ -106,6 +109,7 @@ func measureCell(app App, mode Mode, rule core.Rule, cfg RunConfig) Cell {
 		Models:      cfg.Models,
 		WarmStart:   cfg.WarmStart,
 		Snapshots:   cfg.Snapshots,
+		EngineHook:  cfg.EngineHook,
 	}
 	for i := 0; i < cfg.Measured; i++ {
 		res := RunObs(app, mode, rule, cfg.Seed, o)

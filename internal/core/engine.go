@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +77,14 @@ type Config struct {
 	// uses the default (0.5); negative values are clamped to 0 (any
 	// measurable drift re-opens selection) and reported as ConfigClamped.
 	DriftThreshold float64
+	// DecisionRing bounds the per-context ring of decision records served
+	// by Engine.Explain (and the diag /sites/{name}/explain endpoint): each
+	// analysis pass appends one record explaining what was decided or why
+	// nothing could be. Zero uses the default (16); negative disables
+	// recording entirely. Records live only in memory, are written only
+	// inside analysis passes (never on the creation fast path) and emit no
+	// events, so traces are identical with recording on or off.
+	DecisionRing int
 	// Name labels this engine in emitted events, distinguishing engines
 	// when several share a sink or registry (e.g. the Table 5 sweep).
 	Name string
@@ -137,6 +147,9 @@ func (c Config) withDefaults() (Config, []obs.ConfigClamped) {
 		clamps = append(clamps, obs.ConfigClamped{Field: "DriftThreshold", From: c.DriftThreshold, To: 0})
 		c.DriftThreshold = 0
 	}
+	if c.DecisionRing == 0 {
+		c.DecisionRing = 16
+	}
 	if c.AnalysisParallelism == 0 {
 		c.AnalysisParallelism = runtime.GOMAXPROCS(0)
 	}
@@ -173,6 +186,12 @@ type analyzable interface {
 	// the stored variant is not in the context's candidate pool.
 	warmStart(WarmDecision) bool
 	siteSnapshot() SiteSnapshot
+	// decisionRecords returns the context's explain ring, oldest first
+	// (nil when Config.DecisionRing disabled recording).
+	decisionRecords() []DecisionRecord
+	// siteStatus is siteSnapshot plus the live window/cooldown counters and
+	// last decision outcome, captured under one lock for the diag server.
+	siteStatus() SiteStatus
 }
 
 // Engine coordinates allocation contexts: it owns the configuration, the
@@ -332,10 +351,17 @@ func (e *Engine) AnalyzeNow() {
 		e.sink.Emit(obs.RoundStarted{Engine: e.cfg.Name, Round: round, Contexts: len(ctxs)})
 	}
 	start := time.Now()
-	e.analyzeAll(ctxs, round)
+	// The analysis pass runs under a pprof label so CPU profiles attribute
+	// the framework's self-overhead to "collectionswitch=analysis" rather
+	// than smearing it over the application's call stacks; SelfOverheadNs
+	// accumulates the same wall time for the /metrics overhead fraction.
+	pprof.Do(context.Background(), pprof.Labels("collectionswitch", "analysis"), func(context.Context) {
+		e.analyzeAll(ctxs, round)
+	})
 	elapsed := time.Since(start)
 	e.metrics.AnalysisRounds.Add(1)
 	e.metrics.AnalysisLatency.Observe(elapsed.Seconds())
+	e.metrics.SelfOverheadNs.Add(elapsed.Nanoseconds())
 	e.mu.Lock()
 	e.rounds++
 	e.mu.Unlock()
@@ -488,52 +514,120 @@ func (e *Engine) logTransition(t Transition) {
 	}
 }
 
+// windowClose carries one round-close request from a site core into
+// closeWindow: the folded aggregate plus everything the decision record
+// needs to explain the outcome.
+type windowClose struct {
+	name      string
+	agg       *costAgg
+	current   collections.VariantID
+	round     int   // 0-based index of the round being closed
+	threshold int64 // adaptive-variant transition threshold
+	finished  int   // instances folded before decision time
+	cooldown  int   // unmonitored creations the context skips next
+	// skipRule holds a warm-started context on its restored variant: the
+	// window still closes (telemetry, cooldown, round advance) but no rule
+	// is evaluated and no transition can occur. drift is the measured
+	// profile drift that justified the hold.
+	skipRule bool
+	drift    float64
+	// record asks for a DecisionRecord; modelGaps lists the candidates the
+	// aggregate had to exclude for missing model curves (explain data only).
+	record    bool
+	modelGaps []collections.VariantID
+}
+
 // closeWindow finishes one monitoring round at a context: it evaluates the
 // selection rule over the folded aggregate, records any transition, and
-// emits the WindowClosed / CooldownEntered telemetry. round is the 0-based
-// index of the round being closed (WindowClosed reports it 1-based to match
-// the legacy trace wording); finished is the number of instances that were
-// folded before decision time; cooldown is the number of unmonitored
-// creations the context will skip next; skipRule holds a warm-started
-// context on its restored variant — the window still closes (telemetry,
-// cooldown, round advance) but no rule is evaluated and no transition can
-// occur. It returns the variant future instantiations should use.
-func (e *Engine) closeWindow(name string, agg *costAgg, current collections.VariantID, round int, threshold int64, finished, cooldown int, skipRule bool) collections.VariantID {
-	if !skipRule {
+// emits the WindowClosed / CooldownEntered telemetry (WindowClosed reports
+// the round 1-based to match the legacy trace wording). It returns the
+// variant future instantiations should use plus, when wc.record is set, the
+// decision record explaining the outcome (the caller owns pushing it into
+// the context's ring under its lock).
+func (e *Engine) closeWindow(wc windowClose) (collections.VariantID, *DecisionRecord) {
+	current := wc.current
+	var rec *DecisionRecord
+	if wc.record {
+		rec = &DecisionRecord{
+			When:      time.Now(),
+			Round:     wc.round,
+			Variant:   wc.current,
+			ModelGaps: wc.modelGaps,
+			Folded:    wc.finished,
+		}
+	}
+	if wc.skipRule {
+		if rec != nil {
+			rec.Outcome = OutcomeWarmHold
+			rec.Drift = wc.drift
+		}
+	} else {
 		e.metrics.RuleEvaluations.Add(1)
-		if d := decide(agg, current, e.cfg.Rule, e.cfg.AdaptiveSizeSpread, threshold); d.ok {
+		d, ests, miss, missC1 := decideExplain(wc.agg, wc.current, e.cfg.Rule, e.cfg.AdaptiveSizeSpread, wc.threshold, wc.record)
+		if d.ok {
 			e.logTransition(Transition{
-				Context: name, From: current, To: d.switchTo,
-				Round: round, Ratios: d.ratios, When: time.Now(),
+				Context: wc.name, From: wc.current, To: d.switchTo,
+				Round: wc.round, Ratios: d.ratios, When: time.Now(),
 			})
 			current = d.switchTo
 		}
+		if rec != nil {
+			rec.Candidates = ests
+			var thr1 float64
+			var c1dim perfmodel.Dimension
+			if len(e.cfg.Rule.Criteria) > 0 {
+				thr1 = e.cfg.Rule.Criteria[0].Threshold
+				c1dim = e.cfg.Rule.Criteria[0].Dimension
+			}
+			switch {
+			case d.ok:
+				rec.Outcome = OutcomeSwitched
+				rec.Winner = d.switchTo
+				rec.Margin = thr1 - d.ratios[c1dim]
+			case ests == nil:
+				// decideExplain bailed before ranking: the aggregate has no
+				// entry for the current variant (its model curves are
+				// missing) or nothing was folded.
+				rec.Outcome = OutcomeModelMissing
+			case miss == "":
+				// Ranking ran but no alternative was considered at all.
+				if len(wc.modelGaps) > 0 {
+					rec.Outcome = OutcomeModelMissing
+				} else {
+					rec.Outcome = OutcomeHeld
+				}
+			default:
+				rec.Outcome = OutcomeHeld
+				rec.Winner = miss
+				rec.Margin = thr1 - missC1
+			}
+		}
 	}
 	e.metrics.WindowsClosed.Add(1)
-	if cooldown > 0 {
+	if wc.cooldown > 0 {
 		e.metrics.CooldownsEntered.Add(1)
 	}
 	if e.sink != nil {
 		e.sink.Emit(obs.WindowClosed{
 			Engine:        e.cfg.Name,
-			Context:       name,
-			Round:         round + 1,
+			Context:       wc.name,
+			Round:         wc.round + 1,
 			Variant:       string(current),
 			WindowSize:    e.cfg.WindowSize,
-			Finished:      finished,
-			FinishedRatio: float64(finished) / float64(e.cfg.WindowSize),
-			SizeSpread:    agg.sizeSpread(),
+			Finished:      wc.finished,
+			FinishedRatio: float64(wc.finished) / float64(e.cfg.WindowSize),
+			SizeSpread:    wc.agg.sizeSpread(),
 		})
-		if cooldown > 0 {
+		if wc.cooldown > 0 {
 			e.sink.Emit(obs.CooldownEntered{
 				Engine:   e.cfg.Name,
-				Context:  name,
-				Round:    round + 1,
-				SkipNext: cooldown,
+				Context:  wc.name,
+				Round:    wc.round + 1,
+				SkipNext: wc.cooldown,
 			})
 		}
 	}
-	return current
+	return current, rec
 }
 
 // SetModels hot-swaps the engine's performance models at runtime without

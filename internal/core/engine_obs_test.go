@@ -72,8 +72,12 @@ func (b *blockingCtx) rename(string)       {}
 func (b *blockingCtx) windowStats() obs.ContextWindowStat {
 	return obs.ContextWindowStat{Context: "blocking"}
 }
-func (b *blockingCtx) warmStart(WarmDecision) bool { return false }
-func (b *blockingCtx) siteSnapshot() SiteSnapshot  { return SiteSnapshot{Name: "blocking"} }
+func (b *blockingCtx) warmStart(WarmDecision) bool       { return false }
+func (b *blockingCtx) siteSnapshot() SiteSnapshot        { return SiteSnapshot{Name: "blocking"} }
+func (b *blockingCtx) decisionRecords() []DecisionRecord { return nil }
+func (b *blockingCtx) siteStatus() SiteStatus {
+	return SiteStatus{SiteSnapshot: SiteSnapshot{Name: "blocking"}}
+}
 
 func TestCloseWaitsForInFlightAnalysis(t *testing.T) {
 	e := NewEngineManual(Config{WindowSize: 10})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/collections"
@@ -137,6 +138,17 @@ type decision struct {
 // straddle the variant's transition threshold — an adaptive collection is
 // pointless when every instance stays on one side of it.
 func decide(a *costAgg, current collections.VariantID, rule Rule, adaptiveSpread float64, adaptiveThreshold int64) decision {
+	d, _, _, _ := decideExplain(a, current, rule, adaptiveSpread, adaptiveThreshold, false)
+	return d
+}
+
+// decideExplain is decide plus explainability: when explain is set it also
+// returns one CandidateEstimate per catalog candidate (costs, ratios,
+// eligibility, the first gate each ineligible candidate failed) and the
+// nearest miss — the non-gated alternative with the lowest first-criterion
+// ratio, whether or not it was eligible — for the held-decision margin. The
+// decision itself is computed identically with explain on or off.
+func decideExplain(a *costAgg, current collections.VariantID, rule Rule, adaptiveSpread float64, adaptiveThreshold int64, explain bool) (decision, []CandidateEstimate, collections.VariantID, float64) {
 	curIdx := -1
 	for i, v := range a.candidates {
 		if v == current {
@@ -145,39 +157,56 @@ func decide(a *costAgg, current collections.VariantID, rule Rule, adaptiveSpread
 		}
 	}
 	if curIdx < 0 || a.folded == 0 {
-		return decision{}
+		return decision{}, nil, "", math.Inf(1)
 	}
 	spread := a.sizeSpread()
 	best := decision{}
 	bestC1 := math.Inf(1)
+	var estimates []CandidateEstimate
+	var miss collections.VariantID
+	missC1 := math.Inf(1)
+	if explain {
+		estimates = make([]CandidateEstimate, 0, len(a.candidates))
+	}
 	for i, v := range a.candidates {
 		if i == curIdx {
+			if explain {
+				estimates = append(estimates, a.estimate(i, curIdx, rule, false, "current"))
+			}
 			continue
 		}
 		if collections.IsAdaptive(v) {
 			straddles := a.minSize < adaptiveThreshold && a.maxSize > adaptiveThreshold
 			if spread < adaptiveSpread || !straddles {
+				if explain {
+					estimates = append(estimates, a.estimate(i, curIdx, rule, false, "adaptive size gate"))
+				}
 				continue
 			}
 		}
 		ratios := make(map[perfmodel.Dimension]float64, len(rule.Criteria))
 		eligible := true
+		failure := ""
 		for _, crit := range rule.Criteria {
-			newCost := a.total(i, crit.Dimension)
-			curCost := a.total(curIdx, crit.Dimension)
-			var ratio float64
-			switch {
-			case curCost > 0:
-				ratio = newCost / curCost
-			case newCost == 0:
-				ratio = 1
-			default:
-				ratio = math.Inf(1)
-			}
+			ratio := a.ratio(i, curIdx, crit.Dimension)
 			ratios[crit.Dimension] = ratio
 			if ratio > crit.Threshold {
 				eligible = false
-				break
+				if failure == "" {
+					failure = fmt.Sprintf("%s ratio %.4g > threshold %.4g", crit.Dimension, ratio, crit.Threshold)
+				}
+				if !explain {
+					break
+				}
+			}
+		}
+		if explain {
+			est := a.estimate(i, curIdx, rule, eligible, failure)
+			est.Ratios = ratios
+			estimates = append(estimates, est)
+			if c1 := ratios[rule.Criteria[0].Dimension]; c1 < missC1 {
+				missC1 = c1
+				miss = v
 			}
 		}
 		if !eligible {
@@ -189,5 +218,42 @@ func decide(a *costAgg, current collections.VariantID, rule Rule, adaptiveSpread
 			best = decision{switchTo: v, ratios: ratios, ok: true}
 		}
 	}
-	return best
+	return best, estimates, miss, missC1
+}
+
+// ratio returns TC_D(candidate ci)/TC_D(candidate curIdx) with the decide
+// conventions for zero denominators.
+func (a *costAgg) ratio(ci, curIdx int, dim perfmodel.Dimension) float64 {
+	newCost := a.total(ci, dim)
+	curCost := a.total(curIdx, dim)
+	switch {
+	case curCost > 0:
+		return newCost / curCost
+	case newCost == 0:
+		return 1
+	default:
+		return math.Inf(1)
+	}
+}
+
+// estimate builds the explain entry for candidate ci: accumulated costs over
+// every aggregated dimension plus the rule-criterion ratios against curIdx.
+func (a *costAgg) estimate(ci, curIdx int, rule Rule, eligible bool, reason string) CandidateEstimate {
+	costs := make(map[perfmodel.Dimension]float64, len(a.dims))
+	for di, dim := range a.dims {
+		costs[dim] = a.tc[ci][di]
+	}
+	est := CandidateEstimate{
+		Variant:  a.candidates[ci],
+		Costs:    costs,
+		Eligible: eligible,
+		Reason:   reason,
+	}
+	if ci != curIdx {
+		est.Ratios = make(map[perfmodel.Dimension]float64, len(rule.Criteria))
+		for _, crit := range rule.Criteria {
+			est.Ratios[crit.Dimension] = a.ratio(ci, curIdx, crit.Dimension)
+		}
+	}
+	return est
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 	"weak"
 
 	"repro/internal/collections"
@@ -75,10 +76,14 @@ type siteCore[C any, M any] struct {
 	// cur is the variant future instantiations use, swapped at window close.
 	cur atomic.Pointer[curVariant[C]]
 
-	mu     sync.Mutex // guards window, agg, round, missingWarned
+	mu     sync.Mutex // guards window, agg, round, missingWarned, ring
 	window []*siteRecord[M]
 	agg    *costAgg
 	round  int
+	// ring is the bounded decision-record history served by Engine.Explain;
+	// nil when Config.DecisionRing disabled recording. Written only by
+	// analyze (under mu), so the creation fast path never touches it.
+	ring *decisionRing
 
 	// candidates is the factory-filtered candidate pool. The per-window
 	// aggregate is built from the subset the active models fully cover
@@ -117,6 +122,7 @@ func (c *siteCore[C, M]) init(e *Engine, o ctxOptions, abstraction string, facto
 	c.threshold = threshold
 	c.candidates = filterKnown(o.candidates, factories)
 	c.missingWarned = make(map[collections.VariantID]bool)
+	c.ring = newDecisionRing(e.cfg.DecisionRing)
 	c.agg = c.buildAgg()
 	c.cur.Store(&curVariant[C]{id: o.defaultVar, factory: factories[o.defaultVar]})
 }
@@ -274,10 +280,34 @@ func (c *siteCore[C, M]) analyze() {
 	if reclaimed > 0 {
 		c.e.metrics.WeakReclaims.Add(int64(reclaimed))
 	}
+	// Waiting passes record *why* no decision could fire; consecutive
+	// identical reasons are folded by the ring (Repeats), so a site idling
+	// in a long cooldown does not flush its decision history.
+	recording := c.ring != nil
 	if len(c.window) < c.e.cfg.WindowSize {
+		if recording {
+			if s := c.state.Load(); s > 0 {
+				c.ring.push(DecisionRecord{
+					When: time.Now(), Round: c.round, Variant: c.cur.Load().id,
+					Outcome: OutcomeCooldown, Cooldown: int(s),
+				})
+			} else {
+				c.ring.push(DecisionRecord{
+					When: time.Now(), Round: c.round, Variant: c.cur.Load().id,
+					Outcome: OutcomeWindowFilling, WindowFill: len(c.window), Folded: c.agg.folded,
+				})
+			}
+		}
 		return
 	}
 	if c.agg.folded < neededFolds(c.e.cfg) {
+		if recording {
+			c.ring.push(DecisionRecord{
+				When: time.Now(), Round: c.round, Variant: c.cur.Load().id,
+				Outcome: OutcomeAwaitingFinished, WindowFill: len(c.window),
+				Folded: c.agg.folded, NeededFolds: neededFolds(c.e.cfg),
+			})
+		}
 		return
 	}
 	// Decision time: use the whole set of metrics, including instances
@@ -299,9 +329,11 @@ func (c *siteCore[C, M]) analyze() {
 	// under. Crossing it sheds the warm state permanently: from this window
 	// on the context selects like any cold one.
 	skipRule := false
+	var warmDrift float64
 	if c.warm {
 		if drift := Drift(c.warmProf, c.winProf); drift <= c.e.cfg.DriftThreshold {
 			skipRule = true
+			warmDrift = drift
 		} else {
 			c.warm = false
 			c.e.metrics.DriftReopens.Add(1)
@@ -317,7 +349,19 @@ func (c *siteCore[C, M]) analyze() {
 	}
 	cooldown := int(c.e.cfg.CooldownWindows * float64(c.e.cfg.WindowSize))
 	cur := c.cur.Load()
-	next := c.e.closeWindow(c.name, c.agg, cur.id, c.round, c.threshold, finished, cooldown, skipRule)
+	var gaps []collections.VariantID
+	if recording {
+		gaps = c.modelGaps()
+	}
+	next, rec := c.e.closeWindow(windowClose{
+		name: c.name, agg: c.agg, current: cur.id, round: c.round,
+		threshold: c.threshold, finished: finished, cooldown: cooldown,
+		skipRule: skipRule, drift: warmDrift,
+		record: recording, modelGaps: gaps,
+	})
+	if rec != nil {
+		c.ring.push(*rec)
+	}
 	if next != cur.id {
 		c.cur.Store(&curVariant[C]{id: next, factory: c.factories[next]})
 	}
@@ -355,6 +399,51 @@ func (c *siteCore[C, M]) warmStart(dec WarmDecision) bool {
 	return true
 }
 
+// modelGaps lists the candidates the current window aggregate had to exclude
+// because the active models lack curves for them (explain data; caller holds
+// c.mu).
+func (c *siteCore[C, M]) modelGaps() []collections.VariantID {
+	if len(c.agg.candidates) == len(c.candidates) {
+		return nil
+	}
+	in := make(map[collections.VariantID]bool, len(c.agg.candidates))
+	for _, v := range c.agg.candidates {
+		in[v] = true
+	}
+	gaps := make([]collections.VariantID, 0, len(c.candidates)-len(c.agg.candidates))
+	for _, v := range c.candidates {
+		if !in[v] {
+			gaps = append(gaps, v)
+		}
+	}
+	return gaps
+}
+
+// decisionRecords returns the explain ring, oldest first.
+func (c *siteCore[C, M]) decisionRecords() []DecisionRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.records()
+}
+
+// siteStatus extends siteSnapshot with the live window/cooldown counters and
+// the last decision outcome, all captured under one lock — the /sites view
+// of the diag server.
+func (c *siteCore[C, M]) siteStatus() SiteStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := SiteStatus{
+		SiteSnapshot: c.snapshotLocked(),
+		WindowFill:   len(c.window),
+		Folded:       c.agg.folded,
+		Cooldown:     c.cooldownRemaining(),
+	}
+	if recs := c.ring.records(); len(recs) > 0 {
+		st.LastOutcome = recs[len(recs)-1].Outcome
+	}
+	return st
+}
+
 // siteSnapshot captures the context's externally visible state for the
 // warm-start store and the tuner's benchmark planning. A warm context that
 // has not yet observed a window of its own reports the persisted profile, so
@@ -362,6 +451,10 @@ func (c *siteCore[C, M]) warmStart(dec WarmDecision) bool {
 func (c *siteCore[C, M]) siteSnapshot() SiteSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *siteCore[C, M]) snapshotLocked() SiteSnapshot {
 	prof := c.siteProf
 	if prof.Instances == 0 && c.warm {
 		prof = c.warmProf

@@ -1,0 +1,237 @@
+// Package diag is the live introspection server of the framework (ISSUE 6):
+// a small opt-in HTTP surface answering, against a running process, the
+// questions the paper's evaluation answers only after the fact — what is
+// every allocation context doing, why did (or didn't) it switch, what is the
+// framework costing the runtime right now.
+//
+// Endpoints:
+//
+//	/            plain-text index of the endpoints below
+//	/metrics     Prometheus text exposition of the shared obs.Registry
+//	/debug/vars  standard expvar JSON (includes registries published there)
+//	/sites       JSON snapshot of every allocation context of every attached
+//	             engine: variant, rounds, window fill, cooldown, last outcome
+//	/sites/{name}/explain  last K decision records of one context
+//	/events      flight-recorder ring: the most recent framework events
+//
+// The server holds no locks while serving beyond the brief per-engine
+// snapshot locks, and nothing here runs unless a server is constructed —
+// the framework's default paths are unaffected.
+package diag
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Server exposes the introspection endpoints over a set of attached engines.
+// Construct with New, register engines with Attach (safe at any time, also
+// mid-serve), and mount Handler on any http server — or use ListenAndServe.
+type Server struct {
+	reg *obs.Registry
+	rec *obs.FlightRecorder
+
+	mu      sync.Mutex
+	engines []*core.Engine
+}
+
+// New returns a server rendering the given registry on /metrics and the
+// given flight recorder on /events. Either may be nil: a nil registry
+// serves an empty (but well-formed) exposition, a nil recorder serves an
+// empty event list.
+func New(reg *obs.Registry, rec *obs.FlightRecorder) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Server{reg: reg, rec: rec}
+}
+
+// Registry returns the registry the server renders on /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Recorder returns the flight recorder behind /events (nil if none).
+func (s *Server) Recorder() *obs.FlightRecorder { return s.rec }
+
+// Attach registers an engine with the introspection surface: its sites
+// appear under /sites and its decision records under /sites/{name}/explain.
+// Engines are never detached — a closed engine's last state remains
+// inspectable, which is exactly what a post-mortem wants.
+func (s *Server) Attach(e *core.Engine) {
+	if e == nil {
+		return
+	}
+	s.mu.Lock()
+	s.engines = append(s.engines, e)
+	s.mu.Unlock()
+}
+
+// snapshot returns the attached engines.
+func (s *Server) snapshot() []*core.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*core.Engine, len(s.engines))
+	copy(out, s.engines)
+	return out
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/{$}", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	// Site names routinely contain '/' (e.g. "telemetry/AlertSet"), so
+	// /sites/{name}/explain is parsed manually rather than with a ServeMux
+	// wildcard, which would split on the slashes.
+	mux.HandleFunc("/sites", s.handleSites)
+	mux.HandleFunc("/sites/", s.handleExplain)
+	mux.HandleFunc("/events", s.handleEvents)
+	return mux
+}
+
+// ListenAndServe binds addr (":0" picks a free port), serves the handler on
+// a background goroutine and returns the bound address. The returned
+// http.Server can be Closed/Shutdown by the caller.
+func (s *Server) ListenAndServe(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			// Serving diagnostics must never take the process down; the
+			// error surfaces when the caller Closes the server.
+			_ = err
+		}
+	}()
+	return srv, ln.Addr().String(), nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "collectionswitch introspection\n\n")
+	fmt.Fprintf(w, "  /metrics                  Prometheus text exposition\n")
+	fmt.Fprintf(w, "  /debug/vars               expvar JSON\n")
+	fmt.Fprintf(w, "  /sites                    all allocation contexts (JSON)\n")
+	fmt.Fprintf(w, "  /sites/{name}/explain     decision records of one context\n")
+	fmt.Fprintf(w, "  /events                   flight-recorder event ring\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.reg.WriteTo(w); err != nil {
+		// Too late for an error status; the client sees a truncated body.
+		return
+	}
+}
+
+// siteEntry is one /sites row: the engine label plus the context status.
+type siteEntry struct {
+	Engine string `json:"engine"`
+	core.SiteStatus
+}
+
+func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
+	engines := s.snapshot()
+	entries := make([]siteEntry, 0, 16)
+	for _, e := range engines {
+		name := e.Config().Name
+		for _, st := range e.SiteStatuses() {
+			entries = append(entries, siteEntry{Engine: name, SiteStatus: st})
+		}
+	}
+	writeJSON(w, map[string]any{
+		"engines": len(engines),
+		"count":   len(entries),
+		"sites":   entries,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	name, ok := explainSite(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	// First engine knowing the site wins; engines are searched in attach
+	// order. A site that exists but has recording disabled returns an empty
+	// record list rather than 404.
+	for _, e := range s.snapshot() {
+		for _, st := range e.SiteStatuses() {
+			if st.Name != name {
+				continue
+			}
+			recs := e.Explain(name)
+			if recs == nil {
+				recs = []core.DecisionRecord{}
+			}
+			writeJSON(w, map[string]any{
+				"site":    name,
+				"engine":  e.Config().Name,
+				"variant": st.Variant,
+				"records": recs,
+			})
+			return
+		}
+	}
+	http.Error(w, fmt.Sprintf("unknown site %q", name), http.StatusNotFound)
+}
+
+// explainSite extracts the site name from /sites/{name}/explain, where
+// {name} may itself contain slashes.
+func explainSite(path string) (string, bool) {
+	rest, ok := strings.CutPrefix(path, "/sites/")
+	if !ok {
+		return "", false
+	}
+	name, ok := strings.CutSuffix(rest, "/explain")
+	if !ok || name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// eventEntry is one /events row.
+type eventEntry struct {
+	When  time.Time `json:"when"`
+	Kind  obs.Kind  `json:"kind"`
+	Event obs.Event `json:"event"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	entries := []eventEntry{}
+	var total int64
+	if s.rec != nil {
+		snap := s.rec.Snapshot()
+		total = s.rec.Total()
+		entries = make([]eventEntry, len(snap))
+		for i, te := range snap {
+			entries[i] = eventEntry{When: te.When, Kind: te.Event.EventKind(), Event: te.Event}
+		}
+	}
+	writeJSON(w, map[string]any{
+		"total":  total,
+		"count":  len(entries),
+		"events": entries,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing more to do.
+		_ = err
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package diag
+
+import "repro/internal/obs"
+
+// NotifySIGQUIT is a no-op where SIGQUIT does not exist; see the unix build
+// for the real behavior.
+func NotifySIGQUIT(rec *obs.FlightRecorder) (stop func()) {
+	return func() {}
+}

@@ -1,0 +1,40 @@
+//go:build unix
+
+package diag
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/obs"
+)
+
+// NotifySIGQUIT arranges for the flight recorder's ring to be dumped to
+// stderr when the process receives SIGQUIT, ahead of the Go runtime's own
+// goroutine dump: the handler writes the recorder, restores the default
+// disposition and re-raises the signal, so the usual ^\ stack traces still
+// appear — now preceded by the last framework events that led up to them.
+// Returns a stop function detaching the handler. No-op on nil recorders and
+// on platforms without SIGQUIT.
+func NotifySIGQUIT(rec *obs.FlightRecorder) (stop func()) {
+	if rec == nil {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			rec.WriteTo(os.Stderr)
+			signal.Reset(syscall.SIGQUIT)
+			syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -40,7 +40,7 @@ type Fig5Panel struct {
 
 // newFig5Engine builds the manual engine used for one single-phase run.
 func newFig5Engine(rule core.Rule, name string, o Obs) *core.Engine {
-	return core.NewEngineManual(core.Config{
+	e := core.NewEngineManual(core.Config{
 		WindowSize:          100,
 		FinishedRatio:       0.6,
 		Rule:                rule,
@@ -50,6 +50,10 @@ func newFig5Engine(rule core.Rule, name string, o Obs) *core.Engine {
 		Sink:                o.Sink,
 		Metrics:             o.Metrics,
 	})
+	if o.EngineHook != nil {
+		o.EngineHook(e)
+	}
+	return e
 }
 
 // hook ticks the engine the way the background analyzer and the JVM GC

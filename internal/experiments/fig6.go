@@ -54,6 +54,9 @@ func RunFig6Obs(sc Scale, o Obs) Fig6Result {
 		Metrics:             o.Metrics,
 	})
 	defer e.Close()
+	if o.EngineHook != nil {
+		o.EngineHook(e)
+	}
 	ctx := core.NewListContext[int](e, core.WithName("fig6"))
 	hook := engineHook(e)
 

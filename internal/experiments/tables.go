@@ -33,6 +33,11 @@ type Obs struct {
 	// each measured run's per-site state for persistence.
 	WarmStart core.WarmStarter
 	Snapshots func([]core.SiteSnapshot)
+	// EngineHook, when non-nil, observes every engine the experiments
+	// create, right after construction — the diag introspection server
+	// attaches here (the -http flag) so /sites and /sites/{name}/explain
+	// cover each experiment engine as it comes up.
+	EngineHook func(*core.Engine)
 }
 
 // PrintTable2 renders the collection-variant inventory (paper Table 2).
@@ -81,6 +86,7 @@ func RunTable5Obs(sc Scale, o Obs) []apps.Row {
 		Models:      o.Models,
 		WarmStart:   o.WarmStart,
 		Snapshots:   o.Snapshots,
+		EngineHook:  o.EngineHook,
 	}
 	return apps.MeasureAll(cfg)
 }
@@ -237,6 +243,7 @@ func RunOverheadObs(sc Scale, o Obs) []OverheadRow {
 			Metrics:     o.Metrics,
 			Parallelism: o.Parallelism,
 			Models:      o.Models,
+			EngineHook:  o.EngineHook,
 		}
 		for i := 0; i < sc.AppMeasured; i++ {
 			orig := apps.Run(app, apps.ModeOriginal, core.Rtime(), 1)

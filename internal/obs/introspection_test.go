@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- Prometheus label escaping (hostile site names) ---
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"tab\tstays", "tab\tstays"},           // the format does not escape tabs
+		{"unicode — stays", "unicode — stays"}, // nor non-ASCII
+		{`all"three\at
+once`, `all\"three\\at\nonce`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabel(c.in); got != c.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestHostileContextNameRendersValidMetrics is the regression test for the
+// label-escaping bug: a site name containing quotes, backslashes and
+// newlines must produce a /metrics exposition whose sample lines stay
+// well-formed (one sample per line, parseable quoting).
+func TestHostileContextNameRendersValidMetrics(t *testing.T) {
+	hostile := "site\"with\\hostile\nname"
+	r := NewRegistry()
+	r.IncTransition(hostile, `from"v`, "to\nv")
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "hostile\nname") {
+		t.Error("raw newline from label value leaked into the exposition")
+	}
+	want := `collectionswitch_transitions_total{context="site\"with\\hostile\nname",from="from\"v",to="to\nv"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing escaped sample line %q; got:\n%s", want, out)
+	}
+}
+
+// --- JSONL sink Close: flush + sync ---
+
+// syncRecorder is an io.Writer with an os.File-style Sync method.
+type syncRecorder struct {
+	bytes.Buffer
+	syncs   int
+	syncErr error
+}
+
+func (s *syncRecorder) Sync() error {
+	s.syncs++
+	return s.syncErr
+}
+
+func TestJSONLCloseFlushesAndSyncs(t *testing.T) {
+	var dest syncRecorder
+	s := NewJSONLSink(&dest)
+	s.Emit(RoundStarted{Engine: "e", Round: 1})
+	if dest.Len() != 0 {
+		t.Fatal("sink wrote through before Flush/Close (expected buffering)")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if dest.syncs != 1 {
+		t.Errorf("Sync called %d times, want 1", dest.syncs)
+	}
+	events, err := ReadAll(&dest.Buffer)
+	if err != nil {
+		t.Fatalf("trace left unparseable after Close: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("decoded %d events, want 1", len(events))
+	}
+}
+
+func TestJSONLCloseReportsSyncError(t *testing.T) {
+	boom := errors.New("disk full")
+	dest := syncRecorder{syncErr: boom}
+	s := NewJSONLSink(&dest)
+	s.Emit(RoundStarted{Engine: "e"})
+	if err := s.Close(); !errors.Is(err, boom) {
+		t.Errorf("Close error = %v, want the Sync error", err)
+	}
+}
+
+func TestJSONLCloseOnPlainWriterJustFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(EngineClosed{Engine: "e"})
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("Close did not flush the buffered event")
+	}
+}
+
+// --- Flight recorder ---
+
+func TestFlightRecorderEvictsOldest(t *testing.T) {
+	r := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(RoundStarted{Engine: "e", Round: i})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d events, want 3", len(snap))
+	}
+	for i, te := range snap {
+		if te.When.IsZero() {
+			t.Error("entry missing timestamp")
+		}
+		if got := te.Event.(RoundStarted).Round; got != i+2 {
+			t.Errorf("snapshot[%d].Round = %d, want %d (oldest first)", i, got, i+2)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestFlightRecorderWriteTo(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Emit(RoundStarted{Engine: "e", Round: 0, Contexts: 2})
+	r.Emit(Transition{Engine: "e", Context: "s", From: "a", To: "b"})
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "last 2 of 2 events") {
+		t.Errorf("dump header missing counts:\n%s", out)
+	}
+	if !strings.Contains(out, "[round_started]") || !strings.Contains(out, "[transition]") {
+		t.Errorf("dump missing event kinds:\n%s", out)
+	}
+}
+
+// --- Counting sink ---
+
+func TestCountingSinkCountsByKind(t *testing.T) {
+	r := NewRegistry()
+	s := CountingSink(r)
+	s.Emit(RoundStarted{})
+	s.Emit(RoundStarted{})
+	s.Emit(Transition{})
+	counts := r.EventCounts()
+	if counts[KindRoundStarted] != 2 || counts[KindTransition] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if CountingSink(nil) != nil {
+		t.Error("CountingSink(nil) should be nil so Multi drops it")
+	}
+}
+
+// --- Runtime sampler ---
+
+func TestRuntimeSamplerPublishesGauges(t *testing.T) {
+	r := NewRegistry()
+	// Generate some GC activity so the pause histogram is non-degenerate.
+	garbage := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		garbage = append(garbage, make([]byte, 1<<16))
+	}
+	runtime.GC()
+	runtime.KeepAlive(garbage)
+
+	s := NewRuntimeSampler(r)
+	s.SampleOnce()
+	if got := r.LiveHeapBytes.Load(); got <= 0 {
+		t.Errorf("live heap gauge = %g, want > 0", got)
+	}
+	if got := r.GCCPUFraction.Load(); got < 0 || got > 1 {
+		t.Errorf("GC CPU fraction = %g, want within [0, 1]", got)
+	}
+	if got := r.RuntimeSamples.Load(); got != 1 {
+		t.Errorf("RuntimeSamples = %d, want 1", got)
+	}
+	bounds, counts := r.gcPauses()
+	if len(bounds) == 0 || len(bounds) != len(counts) {
+		t.Fatalf("GC pause snapshot: %d bounds, %d counts", len(bounds), len(counts))
+	}
+	if last := bounds[len(bounds)-1]; !math.IsInf(last, 1) {
+		t.Errorf("final pause bound = %g, want +Inf", last)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("pause counts not cumulative at %d", i)
+		}
+	}
+}
+
+func TestRuntimeSamplerBackgroundLoop(t *testing.T) {
+	r := NewRegistry()
+	s := StartRuntimeSampler(r, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.RuntimeSamples.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	if got := r.RuntimeSamples.Load(); got < 3 {
+		t.Errorf("sampler ticked %d times in 2s at 1ms interval", got)
+	}
+}
+
+// --- Kind registry exhaustiveness ---
+
+// TestEventKindsExhaustive cross-checks the three places an event kind must
+// be registered: the Kind constant (with a doc comment, enforced via the
+// AST), the kindDecoders registry (via Kinds/Prototype), and the per-kind
+// events_total counter rendering on /metrics.
+func TestEventKindsExhaustive(t *testing.T) {
+	declared := declaredKinds(t)
+	if len(declared) == 0 {
+		t.Fatal("no Kind constants found in obs.go")
+	}
+	registered := make(map[Kind]bool)
+	for _, k := range Kinds() {
+		registered[k] = true
+	}
+	for name, k := range declared {
+		if !registered[k] {
+			t.Errorf("Kind constant %s (%q) has no kindDecoders entry", name, k)
+		}
+	}
+	if len(registered) != len(declared) {
+		t.Errorf("%d kinds registered, %d declared — registry entry without a constant?",
+			len(registered), len(declared))
+	}
+
+	// Every kind decodes a prototype whose EventKind round-trips.
+	r := NewRegistry()
+	sink := CountingSink(r)
+	for _, k := range Kinds() {
+		proto, ok := Prototype(k)
+		if !ok {
+			t.Errorf("Prototype(%s) failed", k)
+			continue
+		}
+		if proto.EventKind() != k {
+			t.Errorf("Prototype(%s).EventKind() = %s", k, proto.EventKind())
+		}
+		sink.Emit(proto)
+	}
+
+	// And every kind renders an events_total sample.
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := buf.String()
+	for _, k := range Kinds() {
+		want := fmt.Sprintf("collectionswitch_events_total{kind=%q} 1", k)
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// declaredKinds parses obs.go and returns every Kind constant (name ->
+// value), failing the test for any constant missing a doc or line comment —
+// the taxonomy is user-facing documentation.
+func declaredKinds(t *testing.T) map[string]Kind {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "obs.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse obs.go: %v", err)
+	}
+	kinds := make(map[string]Kind)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			ident, ok := vs.Type.(*ast.Ident)
+			if !ok || ident.Name != "Kind" {
+				continue
+			}
+			for i, name := range vs.Names {
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Errorf("Kind constant %s has a non-literal value", name.Name)
+					continue
+				}
+				kinds[name.Name] = Kind(strings.Trim(lit.Value, `"`))
+				if vs.Doc == nil && vs.Comment == nil {
+					t.Errorf("Kind constant %s has no doc comment", name.Name)
+				}
+			}
+		}
+	}
+	return kinds
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -21,14 +22,15 @@ type envelope struct {
 // for concurrent use. Output is buffered; call Flush (or Close) before
 // reading the destination.
 type JSONLSink struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	err error
+	mu   sync.Mutex
+	w    *bufio.Writer
+	dest io.Writer // unbuffered destination, for Close's durability sync
+	err  error
 }
 
 // NewJSONLSink wraps w in a buffered JSONL event writer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{w: bufio.NewWriter(w)}
+	return &JSONLSink{w: bufio.NewWriter(w), dest: w}
 }
 
 // Emit serializes the event as one JSONL line. The first write error is
@@ -67,8 +69,20 @@ func (s *JSONLSink) Flush() error {
 	return s.err
 }
 
-// Close flushes; the sink does not own the underlying writer.
-func (s *JSONLSink) Close() error { return s.Flush() }
+// Close flushes the buffer and, when the destination supports it (an
+// os.File does), syncs it to stable storage: a trace file is fully on disk
+// once Close returns, so an abrupt exit right after cannot lose buffered
+// tail events. The sink does not own the underlying writer — Close never
+// closes it.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	if syncer, ok := s.dest.(interface{ Sync() error }); ok {
+		if serr := syncer.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
 
 // Decode parses one JSONL line back into its typed event and timestamp.
 func Decode(line []byte) (Event, time.Time, error) {
@@ -83,83 +97,81 @@ func Decode(line []byte) (Event, time.Time, error) {
 	return ev, time.Unix(0, env.Time), nil
 }
 
-func decodeKind(kind Kind, raw json.RawMessage) (Event, error) {
-	unmarshal := func(v any) error {
-		if err := json.Unmarshal(raw, v); err != nil {
-			return fmt.Errorf("obs: bad %s payload: %w", kind, err)
-		}
-		return nil
+// dec is the generic payload decoder one kindDecoders entry instantiates
+// per concrete event type.
+func dec[E Event](raw json.RawMessage) (Event, error) {
+	var e E
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, err
 	}
-	switch kind {
-	case KindContextRegistered:
-		var e ContextRegistered
-		return e, unmarshal(&e)
-	case KindDuplicateContextName:
-		var e DuplicateContextName
-		return e, unmarshal(&e)
-	case KindRoundStarted:
-		var e RoundStarted
-		return e, unmarshal(&e)
-	case KindContextAnalyzed:
-		var e ContextAnalyzed
-		return e, unmarshal(&e)
-	case KindRoundCompleted:
-		var e RoundCompleted
-		return e, unmarshal(&e)
-	case KindWindowClosed:
-		var e WindowClosed
-		return e, unmarshal(&e)
-	case KindTransition:
-		var e Transition
-		return e, unmarshal(&e)
-	case KindCooldownEntered:
-		var e CooldownEntered
-		return e, unmarshal(&e)
-	case KindConfigClamped:
-		var e ConfigClamped
-		return e, unmarshal(&e)
-	case KindEngineClosed:
-		var e EngineClosed
-		return e, unmarshal(&e)
-	case KindModelsSwapped:
-		var e ModelsSwapped
-		return e, unmarshal(&e)
-	case KindModelMissing:
-		var e ModelMissing
-		return e, unmarshal(&e)
-	case KindBenchmarkProgress:
-		var e BenchmarkProgress
-		return e, unmarshal(&e)
-	case KindCheckCompleted:
-		var e CheckCompleted
-		return e, unmarshal(&e)
-	case KindCheckDivergence:
-		var e CheckDivergence
-		return e, unmarshal(&e)
-	case KindWarmStart:
-		var e WarmStart
-		return e, unmarshal(&e)
-	case KindCalibrationStarted:
-		var e CalibrationStarted
-		return e, unmarshal(&e)
-	case KindCalibrationCompleted:
-		var e CalibrationCompleted
-		return e, unmarshal(&e)
-	case KindCalibrationDrift:
-		var e CalibrationDrift
-		return e, unmarshal(&e)
-	case KindStoreSaved:
-		var e StoreSaved
-		return e, unmarshal(&e)
-	case KindStoreLoaded:
-		var e StoreLoaded
-		return e, unmarshal(&e)
-	case KindStoreRejected:
-		var e StoreRejected
-		return e, unmarshal(&e)
-	default:
+	return e, nil
+}
+
+// kindDecoders is the single registry tying every Kind to its concrete
+// event type. Decode, Kinds and Prototype all derive from it, and the
+// exhaustiveness test (TestEventKindsExhaustive) fails when a Kind constant
+// is declared without an entry here — adding an event kind therefore cannot
+// silently produce undecodable traces.
+var kindDecoders = map[Kind]func(json.RawMessage) (Event, error){
+	KindContextRegistered:    dec[ContextRegistered],
+	KindDuplicateContextName: dec[DuplicateContextName],
+	KindRoundStarted:         dec[RoundStarted],
+	KindRoundCompleted:       dec[RoundCompleted],
+	KindContextAnalyzed:      dec[ContextAnalyzed],
+	KindWindowClosed:         dec[WindowClosed],
+	KindTransition:           dec[Transition],
+	KindCooldownEntered:      dec[CooldownEntered],
+	KindConfigClamped:        dec[ConfigClamped],
+	KindEngineClosed:         dec[EngineClosed],
+	KindModelsSwapped:        dec[ModelsSwapped],
+	KindModelMissing:         dec[ModelMissing],
+	KindBenchmarkProgress:    dec[BenchmarkProgress],
+	KindCheckCompleted:       dec[CheckCompleted],
+	KindCheckDivergence:      dec[CheckDivergence],
+	KindWarmStart:            dec[WarmStart],
+	KindCalibrationStarted:   dec[CalibrationStarted],
+	KindCalibrationCompleted: dec[CalibrationCompleted],
+	KindCalibrationDrift:     dec[CalibrationDrift],
+	KindStoreSaved:           dec[StoreSaved],
+	KindStoreLoaded:          dec[StoreLoaded],
+	KindStoreRejected:        dec[StoreRejected],
+}
+
+// Kinds returns every registered event kind, sorted.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(kindDecoders))
+	for k := range kindDecoders {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Prototype returns the zero event value registered for kind (ok=false for
+// unknown kinds) — the hook exhaustiveness tests use to exercise every
+// event type without naming each one.
+func Prototype(kind Kind) (Event, bool) {
+	decode, ok := kindDecoders[kind]
+	if !ok {
+		return nil, false
+	}
+	ev, err := decode(json.RawMessage("{}"))
+	if err != nil {
+		return nil, false
+	}
+	return ev, true
+}
+
+func decodeKind(kind Kind, raw json.RawMessage) (Event, error) {
+	decode, ok := kindDecoders[kind]
+	if !ok {
 		return nil, fmt.Errorf("obs: unknown event kind %q", kind)
 	}
+	ev, err := decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("obs: bad %s payload: %w", kind, err)
+	}
+	return ev, nil
 }
 
 // ReadAll decodes every event of a JSONL stream in order.

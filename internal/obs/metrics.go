@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -146,17 +147,100 @@ type Registry struct {
 	StoreSaves   Counter
 	StoreLoads   Counter
 	StoreRejects Counter
+	// SelfOverheadNs accumulates the wall-clock nanoseconds the framework
+	// spends working for itself — engine analysis passes plus tuner shadow
+	// benchmarks — as opposed to application time. Divided by the
+	// registry's age it yields SelfOverheadFraction, the continuously
+	// observable form of the paper's Figure 7 overhead claim.
+	SelfOverheadNs Counter
+	// RuntimeSamples counts runtime/metrics sampler ticks (see
+	// RuntimeSampler); LiveHeapBytes and GCCPUFraction hold the latest
+	// sampled values: bytes of live heap objects and the cumulative
+	// fraction of available CPU spent in the garbage collector. Both stay
+	// zero until a sampler runs.
+	RuntimeSamples Counter
+	LiveHeapBytes  Gauge
+	GCCPUFraction  Gauge
+
+	// created anchors SelfOverheadFraction: self-overhead is expressed as
+	// a fraction of one core's wall-clock since the registry was built.
+	created time.Time
 
 	mu          sync.Mutex
 	transitions map[TransitionKey]int64
+	// events counts emitted framework events by kind (fed by CountingSink).
+	events map[Kind]int64
+	// gcPauseBounds/gcPauseCounts are the latest runtime/metrics GC pause
+	// histogram snapshot: per-bucket upper bounds (seconds) and cumulative
+	// counts, already in Prometheus form (last bound +Inf).
+	gcPauseBounds []float64
+	gcPauseCounts []uint64
 }
 
 // NewRegistry returns an empty registry with the default latency buckets.
 func NewRegistry() *Registry {
 	return &Registry{
 		AnalysisLatency: NewHistogram(DefaultLatencyBounds()),
+		created:         time.Now(),
 		transitions:     make(map[TransitionKey]int64),
+		events:          make(map[Kind]int64),
 	}
+}
+
+// SelfOverheadFraction returns the framework's accumulated self-overhead
+// (analysis passes + shadow benchmarks) as a fraction of one core's
+// wall-clock since the registry was created — 0.01 means the framework cost
+// one percent of a core so far.
+func (r *Registry) SelfOverheadFraction() float64 {
+	elapsed := time.Since(r.created).Nanoseconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.SelfOverheadNs.Load()) / float64(elapsed)
+}
+
+// IncEvent bumps the per-kind event counter (see CountingSink).
+func (r *Registry) IncEvent(k Kind) {
+	r.mu.Lock()
+	r.events[k]++
+	r.mu.Unlock()
+}
+
+// EventCounts returns a copy of the per-kind event counters.
+func (r *Registry) EventCounts() map[Kind]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Kind]int64, len(r.events))
+	for k, v := range r.events {
+		out[k] = v
+	}
+	return out
+}
+
+// SetGCPauses stores a runtime/metrics GC pause histogram snapshot: bounds
+// are per-bucket upper bounds in seconds ending in +Inf, counts the matching
+// cumulative bucket counts. The RuntimeSampler calls this on every tick.
+func (r *Registry) SetGCPauses(bounds []float64, counts []uint64) {
+	if len(bounds) != len(counts) {
+		return
+	}
+	r.mu.Lock()
+	r.gcPauseBounds = append(r.gcPauseBounds[:0], bounds...)
+	r.gcPauseCounts = append(r.gcPauseCounts[:0], counts...)
+	r.mu.Unlock()
+}
+
+// gcPauses returns a copy of the latest GC pause snapshot (nil before the
+// first sample).
+func (r *Registry) gcPauses() ([]float64, []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.gcPauseBounds) == 0 {
+		return nil, nil
+	}
+	bounds := append([]float64(nil), r.gcPauseBounds...)
+	counts := append([]uint64(nil), r.gcPauseCounts...)
+	return bounds, counts
 }
 
 // MonitoredFraction returns monitored/created instances (0 when nothing was
@@ -227,7 +311,51 @@ func (r *Registry) counterRows() []struct {
 		{"collectionswitch_store_saves_total", "warm-start store writes", r.StoreSaves.Load()},
 		{"collectionswitch_store_loads_total", "warm-start store reads accepted", r.StoreLoads.Load()},
 		{"collectionswitch_store_rejects_total", "warm-start store files discarded by validation", r.StoreRejects.Load()},
+		{"collectionswitch_self_overhead_ns_total", "nanoseconds spent in analysis passes and shadow benchmarks", r.SelfOverheadNs.Load()},
+		{"collectionswitch_runtime_samples_total", "runtime/metrics sampler ticks", r.RuntimeSamples.Load()},
 	}
+}
+
+// gaugeRows lists the float-valued metrics in render order.
+func (r *Registry) gaugeRows() []struct {
+	name, help string
+	value      float64
+} {
+	return []struct {
+		name, help string
+		value      float64
+	}{
+		{"collectionswitch_monitored_fraction", "monitored/created instances", r.MonitoredFraction()},
+		{"collectionswitch_self_overhead_fraction", "framework self-time as a fraction of one core's wall-clock", r.SelfOverheadFraction()},
+		{"collectionswitch_live_heap_bytes", "bytes of live heap objects (runtime/metrics, last sample)", r.LiveHeapBytes.Load()},
+		{"collectionswitch_gc_cpu_fraction", "cumulative fraction of available CPU spent in the GC (last sample)", r.GCCPUFraction.Load()},
+	}
+}
+
+// EscapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double-quote and newline become \\, \" and \n; every
+// other byte passes through verbatim. (fmt's %q is NOT equivalent — it also
+// escapes tabs and non-printable runes with sequences the Prometheus format
+// does not define.)
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
 }
 
 // WriteTo renders the registry in the Prometheus text exposition format, so
@@ -238,9 +366,10 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			row.name, row.help, row.name, row.name, row.value)
 	}
-	fmt.Fprintf(&b, "# HELP collectionswitch_monitored_fraction monitored/created instances\n")
-	fmt.Fprintf(&b, "# TYPE collectionswitch_monitored_fraction gauge\n")
-	fmt.Fprintf(&b, "collectionswitch_monitored_fraction %g\n", r.MonitoredFraction())
+	for _, row := range r.gaugeRows() {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+			row.name, row.help, row.name, row.name, row.value)
+	}
 
 	fmt.Fprintf(&b, "# HELP collectionswitch_transitions_total variant switches by context\n")
 	fmt.Fprintf(&b, "# TYPE collectionswitch_transitions_total counter\n")
@@ -259,25 +388,61 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		return keys[i].To < keys[j].To
 	})
 	for _, k := range keys {
-		fmt.Fprintf(&b, "collectionswitch_transitions_total{context=%q,from=%q,to=%q} %d\n",
-			k.Context, k.From, k.To, counts[k])
+		fmt.Fprintf(&b, "collectionswitch_transitions_total{context=\"%s\",from=\"%s\",to=\"%s\"} %d\n",
+			EscapeLabel(k.Context), EscapeLabel(k.From), EscapeLabel(k.To), counts[k])
+	}
+
+	fmt.Fprintf(&b, "# HELP collectionswitch_events_total framework events emitted by kind\n")
+	fmt.Fprintf(&b, "# TYPE collectionswitch_events_total counter\n")
+	events := r.EventCounts()
+	kinds := make([]string, 0, len(events))
+	for k := range events {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "collectionswitch_events_total{kind=\"%s\"} %d\n",
+			EscapeLabel(k), events[Kind(k)])
 	}
 
 	const hname = "collectionswitch_analysis_round_seconds"
 	fmt.Fprintf(&b, "# HELP %s engine analysis pass latency\n# TYPE %s histogram\n", hname, hname)
 	bounds, cum := r.AnalysisLatency.Cumulative()
 	for i, bound := range bounds {
-		le := "+Inf"
-		if !math.IsInf(bound, 1) {
-			le = fmt.Sprintf("%g", bound)
-		}
-		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", hname, le, cum[i])
+		fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", hname, promBound(bound), cum[i])
 	}
 	fmt.Fprintf(&b, "%s_sum %g\n", hname, r.AnalysisLatency.Sum())
 	fmt.Fprintf(&b, "%s_count %d\n", hname, r.AnalysisLatency.Count())
 
+	// GC pause histogram: the latest runtime/metrics snapshot, already
+	// cumulative. Before the first sampler tick the histogram renders
+	// with a single empty +Inf bucket, keeping the exposition shape stable.
+	const gname = "collectionswitch_gc_pause_seconds"
+	fmt.Fprintf(&b, "# HELP %s stop-the-world GC pause latency (runtime/metrics /gc/pauses:seconds)\n# TYPE %s histogram\n", gname, gname)
+	gb, gc := r.gcPauses()
+	var gcount uint64
+	if len(gb) == 0 {
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} 0\n", gname)
+	} else {
+		for i, bound := range gb {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", gname, promBound(bound), gc[i])
+		}
+		gcount = gc[len(gc)-1]
+	}
+	// runtime/metrics does not expose a pause-time sum; report 0 (the
+	// count still carries the sampled total).
+	fmt.Fprintf(&b, "%s_sum 0\n%s_count %d\n", gname, gname, gcount)
+
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err
+}
+
+// promBound renders a histogram upper bound as a Prometheus le label value.
+func promBound(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", bound)
 }
 
 // expvarMu serializes expvar publication: expvar.Publish panics on duplicate
@@ -304,12 +469,19 @@ func (r *Registry) snapshot() map[string]any {
 	for _, row := range r.counterRows() {
 		out[strings.TrimPrefix(row.name, "collectionswitch_")] = row.value
 	}
-	out["monitored_fraction"] = r.MonitoredFraction()
+	for _, row := range r.gaugeRows() {
+		out[strings.TrimPrefix(row.name, "collectionswitch_")] = row.value
+	}
 	transitions := make(map[string]int64)
 	for k, v := range r.TransitionCounts() {
 		transitions[fmt.Sprintf("%s: %s -> %s", k.Context, k.From, k.To)] = v
 	}
 	out["transitions"] = transitions
+	events := make(map[string]int64)
+	for k, v := range r.EventCounts() {
+		events[string(k)] = v
+	}
+	out["events"] = events
 	out["analysis_round_seconds_sum"] = r.AnalysisLatency.Sum()
 	out["analysis_round_seconds_count"] = r.AnalysisLatency.Count()
 	return out

@@ -43,30 +43,31 @@ import "fmt"
 // Kind discriminates event types in serialized form.
 type Kind string
 
-// The event taxonomy. One Kind per concrete event struct.
+// The event taxonomy. One Kind per concrete event struct; every constant
+// carries a one-line meaning (enforced by TestEventKindsExhaustive).
 const (
-	KindContextRegistered    Kind = "context_registered"
-	KindDuplicateContextName Kind = "duplicate_context_name"
-	KindRoundStarted         Kind = "round_started"
-	KindRoundCompleted       Kind = "round_completed"
-	KindContextAnalyzed      Kind = "context_analyzed"
-	KindWindowClosed         Kind = "window_closed"
-	KindTransition           Kind = "transition"
-	KindCooldownEntered      Kind = "cooldown_entered"
-	KindConfigClamped        Kind = "config_clamped"
-	KindEngineClosed         Kind = "engine_closed"
-	KindModelsSwapped        Kind = "models_swapped"
-	KindModelMissing         Kind = "model_missing"
-	KindBenchmarkProgress    Kind = "benchmark_progress"
-	KindCheckCompleted       Kind = "check_completed"
-	KindCheckDivergence      Kind = "check_divergence"
-	KindWarmStart            Kind = "warm_start"
-	KindCalibrationStarted   Kind = "calibration_started"
-	KindCalibrationCompleted Kind = "calibration_completed"
-	KindCalibrationDrift     Kind = "calibration_drift"
-	KindStoreSaved           Kind = "store_saved"
-	KindStoreLoaded          Kind = "store_loaded"
-	KindStoreRejected        Kind = "store_rejected"
+	KindContextRegistered    Kind = "context_registered"     // allocation context joined (or was refused by) an engine
+	KindDuplicateContextName Kind = "duplicate_context_name" // site label collision resolved with a "#N" rename
+	KindRoundStarted         Kind = "round_started"          // engine analysis pass began
+	KindRoundCompleted       Kind = "round_completed"        // engine analysis pass finished, with per-context window stats
+	KindContextAnalyzed      Kind = "context_analyzed"       // per-context analysis span (opt-in, Config.AnalysisSpans)
+	KindWindowClosed         Kind = "window_closed"          // one monitoring round completed at a context
+	KindTransition           Kind = "transition"             // a context switched collection variants
+	KindCooldownEntered      Kind = "cooldown_entered"       // context began skipping creations after a round
+	KindConfigClamped        Kind = "config_clamped"         // configuration field rewritten by validation
+	KindEngineClosed         Kind = "engine_closed"          // engine shut down, with lifetime totals
+	KindModelsSwapped        Kind = "models_swapped"         // cost models hot-swapped at runtime
+	KindModelMissing         Kind = "model_missing"          // candidate excluded from ranking for a missing model curve
+	KindBenchmarkProgress    Kind = "benchmark_progress"     // microbenchmark sweep progress (cmd/perfmodel)
+	KindCheckCompleted       Kind = "check_completed"        // differential oracle check of one variant finished
+	KindCheckDivergence      Kind = "check_divergence"       // differential oracle check found a mismatch
+	KindWarmStart            Kind = "warm_start"             // context restored a persisted variant decision
+	KindCalibrationStarted   Kind = "calibration_started"    // online-calibration cycle began
+	KindCalibrationCompleted Kind = "calibration_completed"  // online-calibration cycle finished
+	KindCalibrationDrift     Kind = "calibration_drift"      // warm context's workload drifted past the threshold
+	KindStoreSaved           Kind = "store_saved"            // warm-start store written to disk
+	KindStoreLoaded          Kind = "store_loaded"           // warm-start store read and accepted
+	KindStoreRejected        Kind = "store_rejected"         // warm-start store discarded by validation
 )
 
 // Event is one structured framework event. Concrete types are plain value

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime attribution (ISSUE 6, after "Distilling the Real Cost of
+// Production Garbage Collectors"): GC cost must be measured per workload,
+// not assumed, so the sampler below wires runtime/metrics into the
+// framework's own registry. Every tick publishes the live-heap size, the
+// cumulative GC CPU fraction and the stop-the-world pause histogram as
+// gauges next to the engine's counters — one /metrics scrape then answers
+// both "what did the framework decide" and "what did that cost the runtime".
+
+// runtimeSamples is the fixed runtime/metrics read set of one tick.
+const (
+	metricLiveHeap   = "/memory/classes/heap/objects:bytes"
+	metricGCCPU      = "/cpu/classes/gc/total:cpu-seconds"
+	metricTotalCPU   = "/cpu/classes/total:cpu-seconds"
+	metricGCPauses   = "/gc/pauses:seconds"
+	defaultRuntimeHz = time.Second
+)
+
+// RuntimeSampler periodically reads runtime/metrics and publishes the
+// values into a Registry: LiveHeapBytes, GCCPUFraction and the GC pause
+// histogram. Construct with StartRuntimeSampler; call Close to stop the
+// ticker goroutine. SampleOnce may also be called manually (tests, manual
+// engines) — a Sampler is not required for the registry to render, only for
+// the gauges to be non-zero.
+type RuntimeSampler struct {
+	reg     *Registry
+	samples []metrics.Sample
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewRuntimeSampler returns a sampler without a background goroutine;
+// values update only on explicit SampleOnce calls.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		reg: reg,
+		samples: []metrics.Sample{
+			{Name: metricLiveHeap},
+			{Name: metricGCCPU},
+			{Name: metricTotalCPU},
+			{Name: metricGCPauses},
+		},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// StartRuntimeSampler returns a sampler updating reg every interval on a
+// background goroutine (0 uses the 1s default). One immediate sample runs
+// before the first tick so the gauges are live as soon as the sampler is.
+// Call Close to stop it.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = defaultRuntimeHz
+	}
+	s := NewRuntimeSampler(reg)
+	s.SampleOnce()
+	go s.loop(interval)
+	return s
+}
+
+func (s *RuntimeSampler) loop(interval time.Duration) {
+	defer close(s.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.SampleOnce()
+		}
+	}
+}
+
+// Close stops the background goroutine (if Start was used). Idempotent is
+// not required; call once.
+func (s *RuntimeSampler) Close() {
+	close(s.stop)
+	<-s.done
+}
+
+// SampleOnce reads the runtime metrics and publishes them into the
+// registry. It is safe to call from any goroutine; the per-sampler sample
+// buffer is reused, so concurrent SampleOnce calls on ONE sampler are not
+// supported (the background loop is the only caller in normal use).
+func (s *RuntimeSampler) SampleOnce() {
+	metrics.Read(s.samples)
+	var gcCPU, totalCPU float64
+	for i := range s.samples {
+		sample := &s.samples[i]
+		switch sample.Name {
+		case metricLiveHeap:
+			if sample.Value.Kind() == metrics.KindUint64 {
+				s.reg.LiveHeapBytes.Set(float64(sample.Value.Uint64()))
+			}
+		case metricGCCPU:
+			if sample.Value.Kind() == metrics.KindFloat64 {
+				gcCPU = sample.Value.Float64()
+			}
+		case metricTotalCPU:
+			if sample.Value.Kind() == metrics.KindFloat64 {
+				totalCPU = sample.Value.Float64()
+			}
+		case metricGCPauses:
+			if sample.Value.Kind() == metrics.KindFloat64Histogram {
+				bounds, counts := promHistogram(sample.Value.Float64Histogram())
+				s.reg.SetGCPauses(bounds, counts)
+			}
+		}
+	}
+	if totalCPU > 0 {
+		s.reg.GCCPUFraction.Set(gcCPU / totalCPU)
+	}
+	s.reg.RuntimeSamples.Add(1)
+}
+
+// promHistogram converts a runtime/metrics histogram (per-bucket counts,
+// n+1 boundaries, bucket i spanning [Buckets[i], Buckets[i+1])) into the
+// Prometheus cumulative form: per-bucket upper bounds ending in +Inf and
+// cumulative counts.
+func promHistogram(h *metrics.Float64Histogram) (bounds []float64, counts []uint64) {
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return nil, nil
+	}
+	bounds = make([]float64, len(h.Counts))
+	counts = make([]uint64, len(h.Counts))
+	var acc uint64
+	for i, c := range h.Counts {
+		acc += c
+		bounds[i] = h.Buckets[i+1]
+		counts[i] = acc
+	}
+	// Prometheus requires the final bucket to be +Inf; the runtime's last
+	// boundary usually is already, but guarantee it.
+	bounds[len(bounds)-1] = math.Inf(1)
+	return bounds, counts
+}

@@ -118,6 +118,23 @@ func Multi(sinks ...Sink) Sink {
 	}
 }
 
+// countingSink bumps the registry's per-kind event counter for every event
+// it sees; see CountingSink.
+type countingSink struct{ reg *Registry }
+
+func (s countingSink) Emit(e Event) { s.reg.IncEvent(e.EventKind()) }
+
+// CountingSink returns a sink that counts events by kind into the
+// registry's events_total counters — the /metrics view of event traffic.
+// Fan it out next to the real sinks with Multi. Nil registries yield a nil
+// sink (which Multi drops).
+func CountingSink(r *Registry) Sink {
+	if r == nil {
+		return nil
+	}
+	return countingSink{reg: r}
+}
+
 // LogfSink adapts a printf-style callback to the event stream: every event
 // is rendered through its Logline formatting. The events that existed in the
 // legacy Config.Logf hook produce byte-identical lines, so pre-existing log

@@ -1,6 +1,8 @@
 package tuner
 
 import (
+	"context"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -187,38 +189,45 @@ func (t *Tuner) RunOnce() int {
 	}
 	var cycleShadow int64
 	fresh := 0
-	for _, c := range cells {
-		if !t.allow() {
-			break
+	// The shadow cells run under a pprof label so CPU profiles attribute
+	// benchmark time to the framework, not the host workload, and the spent
+	// wall-clock is credited to the registry's self-overhead counter — the
+	// same ledger the engine's analysis passes feed.
+	pprof.Do(context.Background(), pprof.Labels("collectionswitch", "tuner-shadow"), func(context.Context) {
+		for _, c := range cells {
+			if !t.allow() {
+				break
+			}
+			target, ok := collections.BenchTargetFor(c.ID)
+			if !ok || target.Adapter == nil {
+				continue
+			}
+			start := time.Now()
+			pts := measureCell(target.Adapter, c.Size, start.Add(t.cfg.MaxCellTime))
+			spent := time.Since(start).Nanoseconds()
+			t.shadowNs.Add(spent)
+			cycleShadow += spent
+			if len(pts.timeNs) == 0 {
+				continue
+			}
+			t.mu.Lock()
+			t.measured[c] = true
+			size := float64(c.Size)
+			for op, ns := range pts.timeNs {
+				k := pointKey{c.ID, op, perfmodel.DimTimeNS}
+				t.points[k] = append(t.points[k], perfmodel.MeasuredPoint{Size: size, Value: ns})
+			}
+			if pts.footOK {
+				// The cost fold charges footprint through the populate curve.
+				k := pointKey{c.ID, perfmodel.OpPopulate, perfmodel.DimFootprint}
+				t.points[k] = append(t.points[k], perfmodel.MeasuredPoint{Size: size, Value: pts.footprint})
+			}
+			t.mu.Unlock()
+			fresh++
+			t.cfg.Metrics.CalibrationCells.Add(1)
 		}
-		target, ok := collections.BenchTargetFor(c.ID)
-		if !ok || target.Adapter == nil {
-			continue
-		}
-		start := time.Now()
-		pts := measureCell(target.Adapter, c.Size, start.Add(t.cfg.MaxCellTime))
-		spent := time.Since(start).Nanoseconds()
-		t.shadowNs.Add(spent)
-		cycleShadow += spent
-		if len(pts.timeNs) == 0 {
-			continue
-		}
-		t.mu.Lock()
-		t.measured[c] = true
-		size := float64(c.Size)
-		for op, ns := range pts.timeNs {
-			k := pointKey{c.ID, op, perfmodel.DimTimeNS}
-			t.points[k] = append(t.points[k], perfmodel.MeasuredPoint{Size: size, Value: ns})
-		}
-		if pts.footOK {
-			// The cost fold charges footprint through the populate curve.
-			k := pointKey{c.ID, perfmodel.OpPopulate, perfmodel.DimFootprint}
-			t.points[k] = append(t.points[k], perfmodel.MeasuredPoint{Size: size, Value: pts.footprint})
-		}
-		t.mu.Unlock()
-		fresh++
-		t.cfg.Metrics.CalibrationCells.Add(1)
-	}
+	})
+	t.cfg.Metrics.SelfOverheadNs.Add(cycleShadow)
 	swapped := false
 	if fresh > 0 {
 		models := t.refinedModels()
