@@ -1,6 +1,8 @@
 package core
 
 import (
+	"unsafe"
+
 	"repro/internal/collections"
 )
 
@@ -9,21 +11,61 @@ import (
 // contribute exactly two abstraction-specific ingredients: the
 // monitor-wrapping functions and the adaptive transition threshold.
 
-// wrapList/unwrapList adapt monitoredList to the siteCore monitor hooks.
+// wrapList/unwrapList adapt the list monitors to the siteCore monitor
+// hooks. The Sizer assertion is resolved here, once per instance, so
+// FootprintBytes never re-asserts on the hot path. A multi-stripe profile
+// gets the striped monitor form; the stripes of a GOMAXPROCS=1 process
+// collapse to one and the plain form keeps the record path at its
+// historical cost (see monitor.go). Because the plain form is the striped
+// form's first field, the returned *monitoredList addresses the same heap
+// object either way — siteCore's weak reference and the user-facing
+// interface value agree on the instance-death signal — and unwrapList
+// recovers the striped method set by casting back, discriminating on
+// maskBytes (non-zero exactly for striped monitors).
 func wrapList[T comparable](inner collections.List[T], p *profile) *monitoredList[T] {
-	return &monitoredList[T]{inner: inner, p: p}
+	s, _ := inner.(collections.Sizer)
+	if p.maskBytes() == 0 {
+		return &monitoredList[T]{inner: inner, sizer: s, p: p, sh: p.base()}
+	}
+	st := &stripedList[T]{monitoredList[T]{inner: inner, sizer: s, p: p, sh: p.base(), maskBytes: p.maskBytes()}}
+	return &st.monitoredList
 }
-func unwrapList[T comparable](m *monitoredList[T]) collections.List[T] { return m }
+func unwrapList[T comparable](m *monitoredList[T]) collections.List[T] {
+	if m.maskBytes != 0 {
+		return (*stripedList[T])(unsafe.Pointer(m))
+	}
+	return m
+}
 
 func wrapSet[T comparable](inner collections.Set[T], p *profile) *monitoredSet[T] {
-	return &monitoredSet[T]{inner: inner, p: p}
+	s, _ := inner.(collections.Sizer)
+	if p.maskBytes() == 0 {
+		return &monitoredSet[T]{inner: inner, sizer: s, p: p, sh: p.base()}
+	}
+	st := &stripedSet[T]{monitoredSet[T]{inner: inner, sizer: s, p: p, sh: p.base(), maskBytes: p.maskBytes()}}
+	return &st.monitoredSet
 }
-func unwrapSet[T comparable](m *monitoredSet[T]) collections.Set[T] { return m }
+func unwrapSet[T comparable](m *monitoredSet[T]) collections.Set[T] {
+	if m.maskBytes != 0 {
+		return (*stripedSet[T])(unsafe.Pointer(m))
+	}
+	return m
+}
 
 func wrapMap[K comparable, V any](inner collections.Map[K, V], p *profile) *monitoredMap[K, V] {
-	return &monitoredMap[K, V]{inner: inner, p: p}
+	s, _ := inner.(collections.Sizer)
+	if p.maskBytes() == 0 {
+		return &monitoredMap[K, V]{inner: inner, sizer: s, p: p, sh: p.base()}
+	}
+	st := &stripedMap[K, V]{monitoredMap[K, V]{inner: inner, sizer: s, p: p, sh: p.base(), maskBytes: p.maskBytes()}}
+	return &st.monitoredMap
 }
-func unwrapMap[K comparable, V any](m *monitoredMap[K, V]) collections.Map[K, V] { return m }
+func unwrapMap[K comparable, V any](m *monitoredMap[K, V]) collections.Map[K, V] {
+	if m.maskBytes != 0 {
+		return (*stripedMap[K, V])(unsafe.Pointer(m))
+	}
+	return m
+}
 
 // listFactories/setFactories/mapFactories flatten a variant slice into the
 // (ids, factory map) pair siteCore consumes.

@@ -64,7 +64,7 @@ func TestListContextSwitchesOnLookupHeavyWorkload(t *testing.T) {
 	}
 	// New instances now use the switched variant.
 	l := ctx.NewList()
-	if _, ok := l.(*monitoredList[int]); !ok {
+	if !isMonitoredList(l) {
 		t.Fatal("post-switch instance not monitored (new round should monitor)")
 	}
 }
@@ -217,7 +217,7 @@ func TestContextMonitorsOnlyWindow(t *testing.T) {
 	ctx := NewListContext[int](e)
 	monitored := 0
 	for i := 0; i < 25; i++ {
-		if _, ok := ctx.NewList().(*monitoredList[int]); ok {
+		if isMonitoredList(ctx.NewList()) {
 			monitored++
 		}
 	}
@@ -406,8 +406,8 @@ func TestUnknownDefaultVariantPanics(t *testing.T) {
 }
 
 func TestMonitoredWrapperCountsOps(t *testing.T) {
-	p := &profile{}
-	m := &monitoredList[int]{inner: collections.NewArrayList[int](), p: p}
+	p := newProfile()
+	m := wrapList(collections.NewArrayList[int](), p)
 	m.Add(1)
 	m.Add(2)
 	m.Insert(1, 3) // middle insert: add + middle
@@ -436,8 +436,8 @@ func TestMonitoredWrapperCountsOps(t *testing.T) {
 }
 
 func TestMonitoredSetAndMapCounts(t *testing.T) {
-	ps := &profile{}
-	s := &monitoredSet[int]{inner: collections.NewHashSet[int](), p: ps}
+	ps := newProfile()
+	s := wrapSet(collections.NewHashSet[int](), ps)
 	s.Add(1)
 	s.Add(1) // duplicate still counts as an add call
 	s.Contains(1)
@@ -451,8 +451,8 @@ func TestMonitoredSetAndMapCounts(t *testing.T) {
 		t.Errorf("set MaxSize = %d, want 1", ws.MaxSize)
 	}
 
-	pm := &profile{}
-	m := &monitoredMap[int, int]{inner: collections.NewHashMap[int, int](), p: pm}
+	pm := newProfile()
+	m := wrapMap(collections.NewHashMap[int, int](), pm)
 	m.Put(1, 1)
 	m.Put(2, 2)
 	m.Get(1)
@@ -469,12 +469,54 @@ func TestMonitoredSetAndMapCounts(t *testing.T) {
 }
 
 func TestProfileObserveSizeMonotonic(t *testing.T) {
-	p := &profile{}
-	p.observeSize(5)
-	p.observeSize(3)
-	p.observeSize(8)
-	p.observeSize(1)
-	if got := p.maxSize.Load(); got != 8 {
-		t.Fatalf("maxSize = %d, want 8", got)
+	p := newProfile()
+	sh := p.base()
+	sh.observeSize(5)
+	sh.observeSize(3)
+	sh.observeSize(8)
+	sh.observeSize(1)
+	if got := p.snapshot().MaxSize; got != 8 {
+		t.Fatalf("MaxSize = %d, want 8", got)
+	}
+}
+
+// TestProfileShardsSumExactly pins the shard-then-aggregate invariant the
+// whole refactor rests on: concurrent increments spread over the counter
+// stripes must sum to exactly the number of increments performed, and the
+// per-shard max-size high-water marks must combine into exactly the global
+// maximum — regardless of how the goroutine hash distributed the writers.
+func TestProfileShardsSumExactly(t *testing.T) {
+	// Build a multi-stripe profile directly: on a narrow host newProfile
+	// collapses to one stripe, which would make this test vacuous.
+	p := &profile{shards: make([]pshard, 8)}
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sh := stripeOf(p.base(), p.maskBytes())
+				sh.adds.Add(1)
+				sh.contains.Add(1)
+				sh.observeSize(g*perG + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	w := p.snapshot()
+	if w.Adds != goroutines*perG || w.Contains != goroutines*perG {
+		t.Errorf("shard sums = adds %d contains %d, want %d each", w.Adds, w.Contains, goroutines*perG)
+	}
+	if want := int64(goroutines*perG - 1); w.MaxSize != want {
+		t.Errorf("MaxSize = %d, want %d", w.MaxSize, want)
+	}
+	// Recycling must hand back a clean profile.
+	p.release()
+	q := newProfile()
+	defer q.release()
+	if w := q.snapshot(); w != (Workload{}) {
+		t.Errorf("pooled profile not zeroed: %+v", w)
 	}
 }

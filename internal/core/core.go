@@ -25,49 +25,13 @@
 // measures).
 package core
 
-import (
-	"sync/atomic"
-)
-
-// profile accumulates the workload of one monitored collection instance.
-// All fields are updated atomically: the monitored collection may live on
-// any goroutine while the analyzer reads concurrently.
-type profile struct {
-	adds     atomic.Int64 // Add/Insert/Put calls
-	contains atomic.Int64 // Contains/IndexOf/Get/ContainsKey calls
-	iterates atomic.Int64 // full traversals (ForEach)
-	middles  atomic.Int64 // positional/middle mutations and removals
-	maxSize  atomic.Int64 // high-water mark of Len()
-}
-
-// observeSize raises the max-size high-water mark to at least n.
-func (p *profile) observeSize(n int) {
-	for {
-		cur := p.maxSize.Load()
-		if int64(n) <= cur {
-			return
-		}
-		if p.maxSize.CompareAndSwap(cur, int64(n)) {
-			return
-		}
-	}
-}
-
 // Workload is an immutable snapshot of a profile, the W of Section 3.1.1.
+// It is produced by profile.snapshot (profile.go), which aggregates the
+// striped per-shard counters into these exact totals.
 type Workload struct {
 	Adds     int64
 	Contains int64
 	Iterates int64
 	Middles  int64
 	MaxSize  int64
-}
-
-func (p *profile) snapshot() Workload {
-	return Workload{
-		Adds:     p.adds.Load(),
-		Contains: p.contains.Load(),
-		Iterates: p.iterates.Load(),
-		Middles:  p.middles.Load(),
-		MaxSize:  p.maxSize.Load(),
-	}
 }

@@ -224,6 +224,14 @@ type Engine struct {
 	// for any in-flight pass before returning.
 	analysisMu sync.Mutex
 
+	// batch is the active analysis pass's event batch (nil outside passes).
+	// Events produced inside a pass accumulate here and reach the sink in
+	// one batched delivery when the pass ends — one sink call per pass, not
+	// per event — preserving emission order exactly. Events produced outside
+	// passes (registration, close, model swaps, clamps) go straight to the
+	// sink as before.
+	batch atomic.Pointer[obs.Batch]
+
 	background bool // whether loop() was started
 	stop       chan struct{}
 	done       chan struct{}
@@ -329,6 +337,11 @@ func (e *Engine) Close() {
 		}
 		e.mu.Unlock()
 		e.sink.Emit(ev)
+		// Drain any buffering sink (JSONL, or a Multi over one): the trace
+		// is complete on disk the moment Close returns.
+		if err := obs.FlushSink(e.sink); err != nil {
+			e.metrics.SinkFlushErrors.Add(1)
+		}
 	}
 }
 
@@ -347,8 +360,14 @@ func (e *Engine) AnalyzeNow() {
 	copy(ctxs, e.contexts)
 	round := e.rounds
 	e.mu.Unlock()
+	// All events of this pass accumulate in one batch, delivered to the
+	// sink in a single call after RoundCompleted (analysisMu is held
+	// throughout, so exactly one batch is ever active).
+	var batch *obs.Batch
 	if e.sink != nil {
-		e.sink.Emit(obs.RoundStarted{Engine: e.cfg.Name, Round: round, Contexts: len(ctxs)})
+		batch = obs.NewBatch(e.sink)
+		e.batch.Store(batch)
+		e.emit(obs.RoundStarted{Engine: e.cfg.Name, Round: round, Contexts: len(ctxs)})
 	}
 	start := time.Now()
 	// The analysis pass runs under a pprof label so CPU profiles attribute
@@ -370,13 +389,28 @@ func (e *Engine) AnalyzeNow() {
 		for i, c := range ctxs {
 			stats[i] = c.windowStats()
 		}
-		e.sink.Emit(obs.RoundCompleted{
+		e.emit(obs.RoundCompleted{
 			Engine:     e.cfg.Name,
 			Round:      round,
 			DurationNs: elapsed.Nanoseconds(),
 			Contexts:   stats,
 		})
 	}
+	if batch != nil {
+		e.batch.Store(nil)
+		batch.Flush()
+	}
+}
+
+// emit routes an event into the active analysis pass's batch, or straight to
+// the sink outside a pass. Callers guard with e.sink != nil (the nil-sink
+// event paths must stay allocation-free).
+func (e *Engine) emit(ev obs.Event) {
+	if b := e.batch.Load(); b != nil {
+		b.Emit(ev)
+		return
+	}
+	e.sink.Emit(ev)
 }
 
 // analyzeAll runs one analysis pass over ctxs, sequentially below two
@@ -420,7 +454,7 @@ func (e *Engine) analyzeOne(c analyzable, round int) {
 	}
 	start := time.Now()
 	c.analyze()
-	e.sink.Emit(obs.ContextAnalyzed{
+	e.emit(obs.ContextAnalyzed{
 		Engine:     e.cfg.Name,
 		Round:      round,
 		Context:    c.contextName(),
@@ -503,7 +537,7 @@ func (e *Engine) logTransition(t Transition) {
 		for d, v := range t.Ratios {
 			ratios[string(d)] = v
 		}
-		e.sink.Emit(obs.Transition{
+		e.emit(obs.Transition{
 			Engine:  e.cfg.Name,
 			Context: t.Context,
 			From:    string(t.From),
@@ -608,7 +642,7 @@ func (e *Engine) closeWindow(wc windowClose) (collections.VariantID, *DecisionRe
 		e.metrics.CooldownsEntered.Add(1)
 	}
 	if e.sink != nil {
-		e.sink.Emit(obs.WindowClosed{
+		e.emit(obs.WindowClosed{
 			Engine:        e.cfg.Name,
 			Context:       wc.name,
 			Round:         wc.round + 1,
@@ -619,7 +653,7 @@ func (e *Engine) closeWindow(wc windowClose) (collections.VariantID, *DecisionRe
 			SizeSpread:    wc.agg.sizeSpread(),
 		})
 		if wc.cooldown > 0 {
-			e.sink.Emit(obs.CooldownEntered{
+			e.emit(obs.CooldownEntered{
 				Engine:   e.cfg.Name,
 				Context:  wc.name,
 				Round:    wc.round + 1,

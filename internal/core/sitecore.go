@@ -34,10 +34,24 @@ import (
 //	                         unmonitored instance without any write
 //
 // and the current variant's factory is published through an atomic pointer.
-// Only creations that actually join the monitored window take c.mu, and only
-// analyze moves the state back to stateOpen. The fast path performs no
-// allocation beyond the collection itself (asserted by
-// TestFastPathAllocsOnlyCollection and guarded by BenchmarkNewParallel).
+// The fast path performs no allocation beyond the collection itself (asserted
+// by TestFastPathAllocsOnlyCollection and guarded by BenchmarkNewParallel).
+//
+// Epoch-based window lifecycle. Each monitoring round's records live in
+// their own epoch window (epochWin), published through an atomic pointer.
+// Creations that join the window synchronize only on the epoch's own tiny
+// append lock — never on c.mu, which has become an analyze-side lock — so
+// window accounting on the record path no longer contends with folding,
+// decision evaluation, explain reads or snapshot captures. Closing a round
+// advances the epoch: analyze seals the old window, drains it (every record
+// folded exactly once — the aggregate equals the historical shared-counter
+// totals), recycles the profiles of finished instances, and installs a fresh
+// epoch *before* reopening the creation gate, so a creator that observes the
+// open state always observes the new epoch too. The grace the drain extends
+// to in-flight recorders is the weak reference: a profile is only recycled
+// once the GC has proven its monitor unreachable, which no live operation
+// can survive (monitor methods pin the monitor past their last profile
+// write — see monitor.go).
 const (
 	stateOpen       int64 = 0  // window accepting monitored instances
 	stateWindowFull int64 = -1 // window full, waiting for the finished ratio
@@ -50,6 +64,45 @@ type siteRecord[M any] struct {
 	ref    weak.Pointer[M]
 	p      *profile
 	folded bool
+}
+
+// epochWin holds one monitoring round's records. Creators append under the
+// epoch's own mutex (held for a capacity check and a slice append — a few
+// nanoseconds); the analyzer snapshots the slice header under the same
+// mutex, then folds outside it, so recorders and the fold never contend.
+// Existing elements of records are never moved or rewritten, which makes a
+// snapshotted prefix safe to walk lock-free.
+type epochWin[M any] struct {
+	mu      sync.Mutex
+	records []*siteRecord[M]
+	// sealed is set by analyze when the epoch retires; a creator that raced
+	// the close bounces to an unmonitored instance instead of appending to a
+	// window that will never be drained.
+	sealed bool
+	// fill mirrors len(records) for lock-free stats reads.
+	fill atomic.Int64
+}
+
+// newEpochWin sizes the record slice for the configured window, capped so a
+// huge WindowSize (benchmarks use 1<<31 to mean "never closes") does not
+// pre-allocate a huge array.
+func newEpochWin[M any](windowSize int) *epochWin[M] {
+	c := windowSize
+	if c > 1024 {
+		c = 1024
+	}
+	return &epochWin[M]{records: make([]*siteRecord[M], 0, c)}
+}
+
+// snapshot returns a prefix-consistent view of the epoch's records: every
+// record folded by an earlier analysis pass is in it (folds only happen to
+// previously snapshotted prefixes), records appended later are simply not
+// seen until the next pass.
+func (w *epochWin[M]) snapshot() []*siteRecord[M] {
+	w.mu.Lock()
+	recs := w.records
+	w.mu.Unlock()
+	return recs
 }
 
 // curVariant is the atomically published "current variant" of a context:
@@ -75,11 +128,17 @@ type siteCore[C any, M any] struct {
 	state atomic.Int64
 	// cur is the variant future instantiations use, swapped at window close.
 	cur atomic.Pointer[curVariant[C]]
+	// win is the current epoch window. Creators load it and append under the
+	// epoch's own lock; analyze retires it and installs the next epoch at
+	// window close. Never accessed through c.mu.
+	win atomic.Pointer[epochWin[M]]
 
-	mu     sync.Mutex // guards window, agg, round, missingWarned, ring
-	window []*siteRecord[M]
-	agg    *costAgg
-	round  int
+	// mu is the analyze-side lock: it guards agg, round, missingWarned, the
+	// ring and the workload profiles, and serializes analysis with the
+	// snapshot/status/explain readers. The record path never takes it.
+	mu    sync.Mutex
+	agg   *costAgg
+	round int
 	// ring is the bounded decision-record history served by Engine.Explain;
 	// nil when Config.DecisionRing disabled recording. Written only by
 	// analyze (under mu), so the creation fast path never touches it.
@@ -124,6 +183,7 @@ func (c *siteCore[C, M]) init(e *Engine, o ctxOptions, abstraction string, facto
 	c.missingWarned = make(map[collections.VariantID]bool)
 	c.ring = newDecisionRing(e.cfg.DecisionRing)
 	c.agg = c.buildAgg()
+	c.win.Store(newEpochWin[M](e.cfg.WindowSize))
 	c.cur.Store(&curVariant[C]{id: o.defaultVar, factory: factories[o.defaultVar]})
 }
 
@@ -150,7 +210,7 @@ func (c *siteCore[C, M]) buildAgg() *costAgg {
 			c.missingWarned[v] = true
 			c.e.metrics.ModelGaps.Add(1)
 			if c.e.sink != nil {
-				c.e.sink.Emit(obs.ModelMissing{
+				c.e.emit(obs.ModelMissing{
 					Engine:    c.e.cfg.Name,
 					Context:   c.name,
 					Variant:   string(v),
@@ -183,33 +243,41 @@ func (c *siteCore[C, M]) newCollection() C {
 	}
 }
 
-// newMonitored is the slow path: the window looked open, so the creation may
-// join it. Everything is re-checked under the lock — a concurrent creator
-// may have filled the window, or a concurrent analyze may have entered a
-// cooldown, between the fast-path load and here.
+// newMonitored is the monitored-creation path: the window looked open, so
+// the creation tries to join the current epoch. It synchronizes only on the
+// epoch's append lock — never on c.mu — so joining the window cannot contend
+// with an in-flight analysis pass. Capacity is re-checked under that lock: a
+// concurrent creator may have filled the window (or a concurrent analyze
+// sealed it) between the fast-path gate load and here, in which case the
+// creation bounces to an unmonitored instance and republishes the gate. A
+// creator racing an epoch advance can land its record in the *new* epoch
+// while the gate still reads as cooldown — a benign oversample by one (the
+// record simply joins the next round's window); at AnalysisParallelism 1
+// with single-threaded creation the race cannot occur, which is what keeps
+// the Table 6 trace byte-identical.
 func (c *siteCore[C, M]) newMonitored() C {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if s := c.state.Load(); s != stateOpen {
-		if s > 0 {
-			c.state.Add(-1)
-		}
-		return c.cur.Load().factory(0)
-	}
 	inner := c.cur.Load().factory(0)
-	if len(c.window) < c.e.cfg.WindowSize {
-		c.e.metrics.InstancesMonitored.Add(1)
-		p := &profile{}
-		m := c.wrap(inner, p)
-		c.window = append(c.window, &siteRecord[M]{ref: weak.Make(m), p: p})
-		if len(c.window) == c.e.cfg.WindowSize {
-			c.state.Store(stateWindowFull)
-		}
-		return c.unwrap(m)
+	p := newProfile()
+	m := c.wrap(inner, p)
+	rec := &siteRecord[M]{ref: weak.Make(m), p: p}
+	w := c.win.Load()
+	w.mu.Lock()
+	if w.sealed || len(w.records) >= c.e.cfg.WindowSize {
+		w.mu.Unlock()
+		c.state.CompareAndSwap(stateOpen, stateWindowFull)
+		// The monitor never escapes, so no operation can ever reach p.
+		p.release()
+		return inner
 	}
-	// Defensive: state said open but the window is full; republish the gate.
-	c.state.Store(stateWindowFull)
-	return inner
+	w.records = append(w.records, rec)
+	n := len(w.records)
+	w.fill.Store(int64(n))
+	w.mu.Unlock()
+	c.e.metrics.InstancesMonitored.Add(1)
+	if n == c.e.cfg.WindowSize {
+		c.state.CompareAndSwap(stateOpen, stateWindowFull)
+	}
+	return c.unwrap(m)
 }
 
 // currentVariant returns the variant future instantiations will use.
@@ -243,15 +311,20 @@ func (c *siteCore[C, M]) windowStats() obs.ContextWindowStat {
 	defer c.mu.Unlock()
 	return obs.ContextWindowStat{
 		Context: c.name, Variant: string(c.currentVariant()), Round: c.round,
-		WindowFill: len(c.window), Folded: c.agg.folded, Cooldown: c.cooldownRemaining(),
+		WindowFill: int(c.win.Load().fill.Load()), Folded: c.agg.folded, Cooldown: c.cooldownRemaining(),
 	}
 }
 
 // analyze folds finished instances and, when the window is complete and the
 // finished ratio reached, applies the selection rule (Sections 3.1, 4.3).
+// It holds only c.mu (the analyze-side lock); the epoch window is read
+// through a prefix-consistent snapshot, so live recorders and creators never
+// wait on this pass.
 func (c *siteCore[C, M]) analyze() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	win := c.win.Load()
+	recs := win.snapshot()
 	if c.e.models.Load() != c.agg.models {
 		// Models were hot-swapped mid-window. The per-instance workload
 		// snapshots are still held by the window records, so rebuild the
@@ -259,7 +332,7 @@ func (c *siteCore[C, M]) analyze() {
 		// folded — the swap then governs this window's decision, not just
 		// the next one's.
 		fresh := c.buildAgg()
-		for _, r := range c.window {
+		for _, r := range recs {
 			if r.folded {
 				fresh.fold(r.p.snapshot())
 			}
@@ -267,7 +340,7 @@ func (c *siteCore[C, M]) analyze() {
 		c.agg = fresh
 	}
 	reclaimed := 0
-	for _, r := range c.window {
+	for _, r := range recs {
 		if !r.folded && r.ref.Value() == nil {
 			w := r.p.snapshot()
 			c.agg.fold(w)
@@ -284,7 +357,7 @@ func (c *siteCore[C, M]) analyze() {
 	// identical reasons are folded by the ring (Repeats), so a site idling
 	// in a long cooldown does not flush its decision history.
 	recording := c.ring != nil
-	if len(c.window) < c.e.cfg.WindowSize {
+	if len(recs) < c.e.cfg.WindowSize {
 		if recording {
 			if s := c.state.Load(); s > 0 {
 				c.ring.push(DecisionRecord{
@@ -294,7 +367,7 @@ func (c *siteCore[C, M]) analyze() {
 			} else {
 				c.ring.push(DecisionRecord{
 					When: time.Now(), Round: c.round, Variant: c.cur.Load().id,
-					Outcome: OutcomeWindowFilling, WindowFill: len(c.window), Folded: c.agg.folded,
+					Outcome: OutcomeWindowFilling, WindowFill: len(recs), Folded: c.agg.folded,
 				})
 			}
 		}
@@ -304,7 +377,7 @@ func (c *siteCore[C, M]) analyze() {
 		if recording {
 			c.ring.push(DecisionRecord{
 				When: time.Now(), Round: c.round, Variant: c.cur.Load().id,
-				Outcome: OutcomeAwaitingFinished, WindowFill: len(c.window),
+				Outcome: OutcomeAwaitingFinished, WindowFill: len(recs),
 				Folded: c.agg.folded, NeededFolds: neededFolds(c.e.cfg),
 			})
 		}
@@ -314,7 +387,7 @@ func (c *siteCore[C, M]) analyze() {
 	// still alive (the paper folds all collected metrics; the finished
 	// ratio only gates when the analysis may run).
 	finished := c.agg.folded
-	for _, r := range c.window {
+	for _, r := range recs {
 		if !r.folded {
 			w := r.p.snapshot()
 			c.agg.fold(w)
@@ -338,7 +411,7 @@ func (c *siteCore[C, M]) analyze() {
 			c.warm = false
 			c.e.metrics.DriftReopens.Add(1)
 			if c.e.sink != nil {
-				c.e.sink.Emit(obs.CalibrationDrift{
+				c.e.emit(obs.CalibrationDrift{
 					Engine:    c.e.cfg.Name,
 					Context:   c.name,
 					Drift:     drift,
@@ -365,7 +438,21 @@ func (c *siteCore[C, M]) analyze() {
 	if next != cur.id {
 		c.cur.Store(&curVariant[C]{id: next, factory: c.factories[next]})
 	}
-	c.window = c.window[:0]
+	// Advance the epoch: seal the retired window (a creator that raced the
+	// close bounces instead of joining a window nobody will drain), recycle
+	// the profiles whose monitors the GC already proved unreachable, and
+	// install the next epoch *before* reopening the gate — a creator that
+	// observes the reopened state therefore always observes the new epoch.
+	win.mu.Lock()
+	win.sealed = true
+	win.mu.Unlock()
+	for _, r := range recs {
+		if r.ref.Value() == nil {
+			r.p.release()
+			r.p = nil
+		}
+	}
+	c.win.Store(newEpochWin[M](c.e.cfg.WindowSize))
 	c.agg = c.buildAgg()
 	c.winProf = WorkloadProfile{}
 	c.round++
@@ -434,7 +521,7 @@ func (c *siteCore[C, M]) siteStatus() SiteStatus {
 	defer c.mu.Unlock()
 	st := SiteStatus{
 		SiteSnapshot: c.snapshotLocked(),
-		WindowFill:   len(c.window),
+		WindowFill:   int(c.win.Load().fill.Load()),
 		Folded:       c.agg.folded,
 		Cooldown:     c.cooldownRemaining(),
 	}

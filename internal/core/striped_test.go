@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"repro/internal/collections"
+)
+
+// The striped monitor form is only built for multi-stripe profiles, which
+// newProfile produces only when GOMAXPROCS > 1 — so on a narrow host the
+// engine never constructs one naturally. These tests build multi-stripe
+// profiles directly and pin the form-selection, aliasing and exact-counting
+// contracts of the striped path regardless of host width.
+
+// multiStripeProfile returns a profile with the given power-of-two stripe
+// count, bypassing the GOMAXPROCS-scaled pool.
+func multiStripeProfile(stripes int) *profile {
+	return &profile{shards: make([]pshard, stripes)}
+}
+
+// isMonitoredList reports whether c is a monitor of either form. Tests that
+// only care about monitored-vs-bare must use these helpers instead of a
+// concrete type assertion: which form wrap builds depends on the host's
+// GOMAXPROCS.
+func isMonitoredList[T comparable](c collections.List[T]) bool {
+	switch c.(type) {
+	case *monitoredList[T], *stripedList[T]:
+		return true
+	}
+	return false
+}
+
+func isMonitoredSet[T comparable](c collections.Set[T]) bool {
+	switch c.(type) {
+	case *monitoredSet[T], *stripedSet[T]:
+		return true
+	}
+	return false
+}
+
+// TestWrapSelectsMonitorForm pins wrap-time form selection: a single-stripe
+// profile yields the plain monitor, a multi-stripe profile yields the
+// striped monitor, and in both cases the *monitoredX handed to siteCore and
+// the collection interface handed to the user alias the same heap object
+// (the offset-zero embedding the weak-reference death signal relies on).
+func TestWrapSelectsMonitorForm(t *testing.T) {
+	plain := wrapSet[int](collections.NewSyncSet[int](0), multiStripeProfile(1))
+	if plain.maskBytes != 0 {
+		t.Fatalf("single-stripe wrap: maskBytes = %d, want 0", plain.maskBytes)
+	}
+	if _, ok := unwrapSet(plain).(*monitoredSet[int]); !ok {
+		t.Fatalf("single-stripe unwrap returned %T, want *monitoredSet[int]", unwrapSet(plain))
+	}
+
+	m := wrapSet[int](collections.NewSyncSet[int](0), multiStripeProfile(8))
+	if want := uintptr(7 * cacheLineBytes); m.maskBytes != want {
+		t.Fatalf("8-stripe wrap: maskBytes = %d, want %d", m.maskBytes, want)
+	}
+	st, ok := unwrapSet(m).(*stripedSet[int])
+	if !ok {
+		t.Fatalf("8-stripe unwrap returned %T, want *stripedSet[int]", unwrapSet(m))
+	}
+	if unsafe.Pointer(st) != unsafe.Pointer(m) {
+		t.Fatal("striped set and its embedded plain form are different objects")
+	}
+
+	ml := wrapList[int](collections.NewArrayList[int](), multiStripeProfile(4))
+	if stl, ok := unwrapList(ml).(*stripedList[int]); !ok || unsafe.Pointer(stl) != unsafe.Pointer(ml) {
+		t.Fatalf("list wrap/unwrap: got %T, aliased=%v", unwrapList(ml), ok && unsafe.Pointer(stl) == unsafe.Pointer(ml))
+	}
+	mm := wrapMap[int, int](collections.NewSyncMap[int, int](0), multiStripeProfile(4))
+	if stm, ok := unwrapMap(mm).(*stripedMap[int, int]); !ok || unsafe.Pointer(stm) != unsafe.Pointer(mm) {
+		t.Fatalf("map wrap/unwrap: got %T, aliased=%v", unwrapMap(mm), ok && unsafe.Pointer(stm) == unsafe.Pointer(mm))
+	}
+}
+
+// TestStripeOfBoundsAndAlignment pins the unsafe arithmetic inside stripeOf:
+// from any goroutine's stack address the selected stripe must be one of the
+// profile's stripes — a 64-byte-aligned offset inside the array — never a
+// byte address beyond it.
+func TestStripeOfBoundsAndAlignment(t *testing.T) {
+	p := multiStripeProfile(8)
+	base := uintptr(unsafe.Pointer(p.base()))
+	var wg sync.WaitGroup
+	offsets := make([]uintptr, 64)
+	for g := range offsets {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			offsets[g] = uintptr(unsafe.Pointer(stripeOf(p.base(), p.maskBytes()))) - base
+		}(g)
+	}
+	wg.Wait()
+	distinct := map[uintptr]bool{}
+	for g, off := range offsets {
+		if off%cacheLineBytes != 0 {
+			t.Errorf("goroutine %d: stripe offset %d not cache-line aligned", g, off)
+		}
+		if off >= uintptr(len(p.shards))*cacheLineBytes {
+			t.Errorf("goroutine %d: stripe offset %d beyond the stripe array", g, off)
+		}
+		distinct[off] = true
+	}
+	t.Logf("64 goroutines spread over %d of %d stripes", len(distinct), len(p.shards))
+}
+
+// TestStripedSetCountsExactly hammers one striped set monitor from many
+// goroutines and asserts the stripe sums are exact: every operation
+// incremented exactly one stripe once, so the folded Workload equals the
+// reference counts regardless of how the stack hash spread the writers.
+func TestStripedSetCountsExactly(t *testing.T) {
+	p := multiStripeProfile(8)
+	s := unwrapSet(wrapSet[int](collections.NewSyncSet[int](0), p))
+	if _, ok := s.(*stripedSet[int]); !ok {
+		t.Fatalf("monitor form = %T, want *stripedSet[int]", s)
+	}
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Add(g*perG + i)
+				s.Contains(i)
+				if i%64 == 63 {
+					s.ForEach(func(int) bool { return false })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	w := p.snapshot()
+	if w.Adds != goroutines*perG {
+		t.Errorf("Adds = %d, want %d", w.Adds, goroutines*perG)
+	}
+	if w.Contains != goroutines*perG {
+		t.Errorf("Contains = %d, want %d", w.Contains, goroutines*perG)
+	}
+	if want := int64(goroutines * (perG / 64)); w.Iterates != want {
+		t.Errorf("Iterates = %d, want %d", w.Iterates, want)
+	}
+	// All inserted values are distinct, so the last-completing Add observed
+	// the full set: the high-water mark must be exact, not approximate.
+	if w.MaxSize != goroutines*perG {
+		t.Errorf("MaxSize = %d, want %d", w.MaxSize, goroutines*perG)
+	}
+	if s.Len() != goroutines*perG {
+		t.Errorf("Len = %d, want %d", s.Len(), goroutines*perG)
+	}
+}
+
+// TestStripedMonitorsCountEveryMethod drives every overridden counting
+// method of the striped list, set and map forms on one goroutine and checks
+// each landed in the right counter — guarding against an override that
+// delegates without counting (or counts into the wrong column).
+func TestStripedMonitorsCountEveryMethod(t *testing.T) {
+	pl := multiStripeProfile(4)
+	l := unwrapList(wrapList[int](collections.NewArrayList[int](), pl))
+	l.Add(1)                                  // adds
+	l.Add(2)                                  // adds
+	l.Insert(1, 3)                            // adds + middles (interior insert)
+	l.Insert(3, 4)                            // adds (append position)
+	l.Contains(1)                             // contains
+	l.IndexOf(2)                              // contains
+	l.Remove(4)                               // contains + middles
+	l.RemoveAt(0)                             // middles
+	l.ForEach(func(int) bool { return true }) // iterates
+	if w := pl.snapshot(); w.Adds != 4 || w.Contains != 3 || w.Middles != 3 || w.Iterates != 1 || w.MaxSize != 4 {
+		t.Errorf("striped list workload = %+v", w)
+	}
+
+	ps := multiStripeProfile(4)
+	s := unwrapSet(wrapSet[int](collections.NewArraySet[int](), ps))
+	s.Add(1)
+	s.Add(2)
+	s.Contains(1)
+	s.Remove(2)
+	s.ForEach(func(int) bool { return true })
+	if w := ps.snapshot(); w.Adds != 2 || w.Contains != 1 || w.Middles != 1 || w.Iterates != 1 || w.MaxSize != 2 {
+		t.Errorf("striped set workload = %+v", w)
+	}
+
+	pm := multiStripeProfile(4)
+	m := unwrapMap(wrapMap[int, int](collections.NewArrayMap[int, int](), pm))
+	m.Put(1, 10)
+	m.Put(2, 20)
+	m.Get(1)
+	m.ContainsKey(2)
+	m.Remove(1)
+	m.ForEach(func(int, int) bool { return true })
+	if w := pm.snapshot(); w.Adds != 2 || w.Contains != 2 || w.Middles != 1 || w.Iterates != 1 || w.MaxSize != 2 {
+		t.Errorf("striped map workload = %+v", w)
+	}
+}

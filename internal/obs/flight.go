@@ -54,6 +54,25 @@ func (r *FlightRecorder) Emit(e Event) {
 	r.start = (r.start + 1) % len(r.buf)
 }
 
+// EmitBatch appends the events in slice order under one lock acquisition,
+// all stamped with the delivery time (a batch is delivered at the end of
+// the analysis pass that produced it).
+func (r *FlightRecorder) EmitBatch(events []Event) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range events {
+		r.total++
+		if r.n < len(r.buf) {
+			r.buf[(r.start+r.n)%len(r.buf)] = TimedEvent{When: now, Event: e}
+			r.n++
+			continue
+		}
+		r.buf[r.start] = TimedEvent{When: now, Event: e}
+		r.start = (r.start + 1) % len(r.buf)
+	}
+}
+
 // Snapshot returns the retained events, oldest first.
 func (r *FlightRecorder) Snapshot() []TimedEvent {
 	r.mu.Lock()

@@ -147,6 +147,10 @@ type Registry struct {
 	StoreSaves   Counter
 	StoreLoads   Counter
 	StoreRejects Counter
+	// SinkFlushErrors counts failed event-sink flushes (a buffering sink —
+	// e.g. a JSONL trace writer — reported an error when an engine Close
+	// drained it).
+	SinkFlushErrors Counter
 	// SelfOverheadNs accumulates the wall-clock nanoseconds the framework
 	// spends working for itself — engine analysis passes plus tuner shadow
 	// benchmarks — as opposed to application time. Divided by the
@@ -311,6 +315,7 @@ func (r *Registry) counterRows() []struct {
 		{"collectionswitch_store_saves_total", "warm-start store writes", r.StoreSaves.Load()},
 		{"collectionswitch_store_loads_total", "warm-start store reads accepted", r.StoreLoads.Load()},
 		{"collectionswitch_store_rejects_total", "warm-start store files discarded by validation", r.StoreRejects.Load()},
+		{"collectionswitch_sink_flush_errors_total", "event-sink flush failures at engine close", r.SinkFlushErrors.Load()},
 		{"collectionswitch_self_overhead_ns_total", "nanoseconds spent in analysis passes and shadow benchmarks", r.SelfOverheadNs.Load()},
 		{"collectionswitch_runtime_samples_total", "runtime/metrics sampler ticks", r.RuntimeSamples.Load()},
 	}

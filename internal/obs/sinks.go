@@ -35,6 +35,23 @@ func (s *RingSink) Emit(e Event) {
 	s.start = (s.start + 1) % len(s.buf)
 }
 
+// EmitBatch appends the events in slice order under one lock acquisition,
+// evicting oldest entries as needed.
+func (s *RingSink) EmitBatch(events []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range events {
+		s.total++
+		if s.n < len(s.buf) {
+			s.buf[(s.start+s.n)%len(s.buf)] = e
+			s.n++
+			continue
+		}
+		s.buf[s.start] = e
+		s.start = (s.start + 1) % len(s.buf)
+	}
+}
+
 // Events returns the retained events, oldest first.
 func (s *RingSink) Events() []Event {
 	s.mu.Lock()
@@ -78,6 +95,13 @@ func (s *Collector) Emit(e Event) {
 	s.mu.Unlock()
 }
 
+// EmitBatch appends the events in slice order under one lock acquisition.
+func (s *Collector) EmitBatch(events []Event) {
+	s.mu.Lock()
+	s.events = append(s.events, events...)
+	s.mu.Unlock()
+}
+
 // Events returns a copy of every event in emission order.
 func (s *Collector) Events() []Event {
 	s.mu.Lock()
@@ -96,6 +120,25 @@ func (m multiSink) Emit(e Event) {
 	for _, s := range m.sinks {
 		s.Emit(e)
 	}
+}
+
+// EmitBatch forwards the whole batch to each child in order, so children
+// that support batched delivery keep their one-lock-per-pass property.
+func (m multiSink) EmitBatch(events []Event) {
+	for _, s := range m.sinks {
+		EmitAll(s, events)
+	}
+}
+
+// Flush drains every child that buffers, returning the first error.
+func (m multiSink) Flush() error {
+	var first error
+	for _, s := range m.sinks {
+		if err := FlushSink(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Multi returns a sink delivering every event to each non-nil sink in
@@ -123,6 +166,13 @@ func Multi(sinks ...Sink) Sink {
 type countingSink struct{ reg *Registry }
 
 func (s countingSink) Emit(e Event) { s.reg.IncEvent(e.EventKind()) }
+
+// EmitBatch counts each event of the batch.
+func (s countingSink) EmitBatch(events []Event) {
+	for _, e := range events {
+		s.reg.IncEvent(e.EventKind())
+	}
+}
 
 // CountingSink returns a sink that counts events by kind into the
 // registry's events_total counters — the /metrics view of event traffic.
@@ -155,4 +205,15 @@ func (s *LogfSink) Emit(e Event) {
 	}
 	format, args := e.Logline()
 	s.fn(format, args...)
+}
+
+// EmitBatch formats each event of the batch in order.
+func (s *LogfSink) EmitBatch(events []Event) {
+	if s.fn == nil {
+		return
+	}
+	for _, e := range events {
+		format, args := e.Logline()
+		s.fn(format, args...)
+	}
 }
