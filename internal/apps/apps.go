@@ -207,6 +207,10 @@ type Obs struct {
 	// sequentially in registration order, reproducing the historical
 	// single-threaded event stream exactly.
 	Parallelism int
+	// Confidence is handed to the engine as Config.ConfidenceLevel: a
+	// level in (0, 1) arms confidence-aware switching, 0 keeps the
+	// historical point-estimate behavior.
+	Confidence float64
 	// Models overrides the engine's cost models (nil = analytic defaults).
 	Models *perfmodel.Models
 	// WarmStart is handed to the engine as Config.WarmStart: persisted
@@ -245,6 +249,7 @@ func RunObs(app App, mode Mode, rule core.Rule, seed int64, o Obs) Result {
 			Rule:                rule,
 			Models:              o.Models,
 			AnalysisParallelism: o.Parallelism,
+			ConfidenceLevel:     o.Confidence,
 			Name:                o.Label,
 			Sink:                obs.Multi(col, o.Sink),
 			Metrics:             o.Metrics,

@@ -70,6 +70,9 @@ type RunConfig struct {
 	// (Config.AnalysisParallelism). 0 uses the engine default (GOMAXPROCS);
 	// 1 reproduces the historical sequential event ordering.
 	Parallelism int
+	// Confidence arms confidence-aware switching on every run engine
+	// (Config.ConfidenceLevel; 0 = point-estimate switching).
+	Confidence float64
 	// Models overrides the cost models of every run engine (nil = the
 	// analytic defaults).
 	Models *perfmodel.Models
@@ -106,6 +109,7 @@ func measureCell(app App, mode Mode, rule core.Rule, cfg RunConfig) Cell {
 		Sink:        cfg.Sink,
 		Metrics:     cfg.Metrics,
 		Parallelism: cfg.Parallelism,
+		Confidence:  cfg.Confidence,
 		Models:      cfg.Models,
 		WarmStart:   cfg.WarmStart,
 		Snapshots:   cfg.Snapshots,

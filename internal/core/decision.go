@@ -49,6 +49,12 @@ const (
 	// the active models lack curves for the current variant or for every
 	// alternative (ModelGaps lists the skipped candidates).
 	OutcomeModelMissing DecisionOutcome = "model_missing"
+	// OutcomeCIOverlap: confidence gating (Config.ConfidenceLevel) withheld
+	// a switch — a candidate beat every point-estimate threshold but its
+	// interval upper ratio did not. Winner names the suppressed candidate
+	// and Margin (> 0) how far its point ratio cleared the first criterion;
+	// a matching obs.SwitchSuppressed event was emitted.
+	OutcomeCIOverlap DecisionOutcome = "ci_overlap"
 )
 
 // CandidateEstimate is one candidate's standing in a rule evaluation: the
@@ -63,6 +69,14 @@ type CandidateEstimate struct {
 	Ratios   map[perfmodel.Dimension]float64 `json:"ratios,omitempty"`
 	Eligible bool                            `json:"eligible"`
 	Reason   string                          `json:"reason,omitempty"`
+	// CostsLo/CostsHi bound Costs at the engine's configured confidence
+	// level, and RatiosHi is the conservative upper ratio (candidate upper
+	// bound over the current variant's lower bound) the confidence gate
+	// compares against the thresholds. All absent when ConfidenceLevel is
+	// unset.
+	CostsLo  map[perfmodel.Dimension]float64 `json:"costs_lo,omitempty"`
+	CostsHi  map[perfmodel.Dimension]float64 `json:"costs_hi,omitempty"`
+	RatiosHi map[perfmodel.Dimension]float64 `json:"ratios_hi,omitempty"`
 }
 
 // DecisionRecord is one analysis pass at one site, as retained by the

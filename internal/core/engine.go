@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -85,6 +86,17 @@ type Config struct {
 	// inside analysis passes (never on the creation fast path) and emit no
 	// events, so traces are identical with recording on or off.
 	DecisionRing int
+	// ConfidenceLevel, when in (0, 1), arms confidence-aware switching:
+	// model curves that carry prediction variance widen each candidate's
+	// accumulated cost into an interval at this level, and a switch fires
+	// only when the candidate's conservative upper ratio clears every
+	// criterion threshold. Overlapping intervals hold the current variant,
+	// reported as ci_overlap decision records, switch_suppressed events and
+	// the switches_suppressed_ci_total counter. Zero — the default —
+	// disables all interval work: decisions and traces are byte-identical
+	// to the point-estimate engine. Negative values clamp to 0 and values
+	// ≥ 1 clamp to 0.999 (both reported as ConfigClamped).
+	ConfidenceLevel float64
 	// Name labels this engine in emitted events, distinguishing engines
 	// when several share a sink or registry (e.g. the Table 5 sweep).
 	Name string
@@ -150,6 +162,14 @@ func (c Config) withDefaults() (Config, []obs.ConfigClamped) {
 	if c.DecisionRing == 0 {
 		c.DecisionRing = 16
 	}
+	if c.ConfidenceLevel < 0 {
+		clamps = append(clamps, obs.ConfigClamped{Field: "ConfidenceLevel", From: c.ConfidenceLevel, To: 0})
+		c.ConfidenceLevel = 0
+	}
+	if c.ConfidenceLevel >= 1 {
+		clamps = append(clamps, obs.ConfigClamped{Field: "ConfidenceLevel", From: c.ConfidenceLevel, To: 0.999})
+		c.ConfidenceLevel = 0.999
+	}
 	if c.AnalysisParallelism == 0 {
 		c.AnalysisParallelism = runtime.GOMAXPROCS(0)
 	}
@@ -212,6 +232,10 @@ type Engine struct {
 	// only dimensions a window aggregate needs to accumulate (and the only
 	// ones candidates need model curves for).
 	ruleDims []perfmodel.Dimension
+	// confZ is the normal quantile of cfg.ConfidenceLevel (0 when the
+	// confidence gate is off); site cores arm their window aggregates with
+	// it at construction.
+	confZ float64
 
 	mu          sync.Mutex
 	contexts    []analyzable
@@ -271,6 +295,10 @@ func newEngine(cfg Config) *Engine {
 		done:    make(chan struct{}),
 	}
 	e.models.Store(cfg.Models)
+	if cfg.ConfidenceLevel > 0 {
+		// Two-sided normal quantile: level 0.95 → z ≈ 1.96.
+		e.confZ = math.Sqrt2 * math.Erfinv(cfg.ConfidenceLevel)
+	}
 	for _, crit := range cfg.Rule.Criteria {
 		seen := false
 		for _, d := range e.ruleDims {
@@ -604,6 +632,22 @@ func (e *Engine) closeWindow(wc windowClose) (collections.VariantID, *DecisionRe
 				Round: wc.round, Ratios: d.ratios, When: time.Now(),
 			})
 			current = d.switchTo
+		} else if d.suppressedTo != "" {
+			// The confidence gate withheld the only would-be switch: surface
+			// it so a held site is distinguishable from one with nothing to
+			// switch to.
+			e.metrics.SwitchesSuppressedCI.Add(1)
+			if e.sink != nil {
+				e.emit(obs.SwitchSuppressed{
+					Engine:  e.cfg.Name,
+					Context: wc.name,
+					From:    string(wc.current),
+					To:      string(d.suppressedTo),
+					Round:   wc.round,
+					Ratio:   d.suppressedC1,
+					Level:   e.cfg.ConfidenceLevel,
+				})
+			}
 		}
 		if rec != nil {
 			rec.Candidates = ests
@@ -618,6 +662,10 @@ func (e *Engine) closeWindow(wc windowClose) (collections.VariantID, *DecisionRe
 				rec.Outcome = OutcomeSwitched
 				rec.Winner = d.switchTo
 				rec.Margin = thr1 - d.ratios[c1dim]
+			case d.suppressedTo != "":
+				rec.Outcome = OutcomeCIOverlap
+				rec.Winner = d.suppressedTo
+				rec.Margin = thr1 - d.suppressedC1
 			case ests == nil:
 				// decideExplain bailed before ranking: the aggregate has no
 				// entry for the current variant (its model curves are

@@ -220,7 +220,9 @@ func (c *siteCore[C, M]) buildAgg() *costAgg {
 			}
 		}
 	}
-	return newCostAggDims(models, usable, c.e.ruleDims)
+	agg := newCostAggDims(models, usable, c.e.ruleDims)
+	agg.setConfidence(c.e.confZ)
+	return agg
 }
 
 // newCollection returns a collection of the context's current variant. The

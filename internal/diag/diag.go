@@ -136,8 +136,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // siteEntry is one /sites row: the engine label plus the context status.
+// Confidence echoes the engine's ConfidenceLevel, so a dashboard can tell a
+// held site under confidence gating apart from one on a point-estimate
+// engine (omitted when gating is off).
 type siteEntry struct {
-	Engine string `json:"engine"`
+	Engine     string  `json:"engine"`
+	Confidence float64 `json:"confidence,omitempty"`
 	core.SiteStatus
 }
 
@@ -145,9 +149,9 @@ func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
 	engines := s.snapshot()
 	entries := make([]siteEntry, 0, 16)
 	for _, e := range engines {
-		name := e.Config().Name
+		cfg := e.Config()
 		for _, st := range e.SiteStatuses() {
-			entries = append(entries, siteEntry{Engine: name, SiteStatus: st})
+			entries = append(entries, siteEntry{Engine: cfg.Name, Confidence: cfg.ConfidenceLevel, SiteStatus: st})
 		}
 	}
 	writeJSON(w, map[string]any{

@@ -46,6 +46,7 @@ func newFig5Engine(rule core.Rule, name string, o Obs) *core.Engine {
 		Rule:                rule,
 		Models:              o.Models,
 		AnalysisParallelism: o.Parallelism,
+		ConfidenceLevel:     o.Confidence,
 		Name:                name,
 		Sink:                o.Sink,
 		Metrics:             o.Metrics,

@@ -49,6 +49,7 @@ func RunFig6Obs(sc Scale, o Obs) Fig6Result {
 		Rule:                core.Rtime(),
 		Models:              o.Models,
 		AnalysisParallelism: o.Parallelism,
+		ConfidenceLevel:     o.Confidence,
 		Name:                "fig6",
 		Sink:                o.Sink,
 		Metrics:             o.Metrics,

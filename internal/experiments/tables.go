@@ -25,6 +25,10 @@ type Obs struct {
 	Sink        obs.Sink
 	Metrics     *obs.Registry
 	Parallelism int
+	// Confidence is handed to every experiment engine as
+	// Config.ConfidenceLevel (the -confidence flag; 0 = point-estimate
+	// switching, the historical behavior).
+	Confidence float64
 	// Models overrides every experiment engine's cost models (the -models
 	// flag; nil = the analytic defaults).
 	Models *perfmodel.Models
@@ -83,6 +87,7 @@ func RunTable5Obs(sc Scale, o Obs) []apps.Row {
 		Sink:        o.Sink,
 		Metrics:     o.Metrics,
 		Parallelism: o.Parallelism,
+		Confidence:  o.Confidence,
 		Models:      o.Models,
 		WarmStart:   o.WarmStart,
 		Snapshots:   o.Snapshots,
@@ -242,6 +247,7 @@ func RunOverheadObs(sc Scale, o Obs) []OverheadRow {
 			Sink:        o.Sink,
 			Metrics:     o.Metrics,
 			Parallelism: o.Parallelism,
+			Confidence:  o.Confidence,
 			Models:      o.Models,
 			EngineHook:  o.EngineHook,
 		}

@@ -164,6 +164,7 @@ var kindDecoders = map[Kind]func(json.RawMessage) (Event, error){
 	KindStoreSaved:           dec[StoreSaved],
 	KindStoreLoaded:          dec[StoreLoaded],
 	KindStoreRejected:        dec[StoreRejected],
+	KindSwitchSuppressed:     dec[SwitchSuppressed],
 }
 
 // Kinds returns every registered event kind, sorted.

@@ -131,6 +131,11 @@ type Registry struct {
 	// the active models lack a curve the rule needs.
 	ModelSwaps Counter
 	ModelGaps  Counter
+	// SwitchesSuppressedCI counts variant switches the selection rule's point
+	// estimates called for but confidence gating withheld because the
+	// candidate's cost interval overlapped the switch threshold
+	// (Config.ConfidenceLevel > 0).
+	SwitchesSuppressedCI Counter
 	// WarmStarts counts contexts restored from a persisted site decision;
 	// DriftReopens counts warm contexts whose observed profile drifted past
 	// the threshold, re-enabling rule evaluation.
@@ -308,6 +313,7 @@ func (r *Registry) counterRows() []struct {
 		{"collectionswitch_config_clamps_total", "configuration fields rewritten by validation", r.ConfigClamps.Load()},
 		{"collectionswitch_model_swaps_total", "runtime cost-model hot-swaps", r.ModelSwaps.Load()},
 		{"collectionswitch_model_gaps_total", "candidates skipped for missing model curves", r.ModelGaps.Load()},
+		{"collectionswitch_switches_suppressed_ci_total", "variant switches withheld by confidence-interval overlap", r.SwitchesSuppressedCI.Load()},
 		{"collectionswitch_warm_starts_total", "contexts restored from persisted site decisions", r.WarmStarts.Load()},
 		{"collectionswitch_drift_reopens_total", "warm contexts re-opened after workload drift", r.DriftReopens.Load()},
 		{"collectionswitch_calibration_runs_total", "completed online-calibration cycles", r.CalibrationRuns.Load()},

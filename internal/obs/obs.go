@@ -68,6 +68,7 @@ const (
 	KindStoreSaved           Kind = "store_saved"            // warm-start store written to disk
 	KindStoreLoaded          Kind = "store_loaded"           // warm-start store read and accepted
 	KindStoreRejected        Kind = "store_rejected"         // warm-start store discarded by validation
+	KindSwitchSuppressed     Kind = "switch_suppressed"      // variant switch withheld: confidence intervals overlap
 )
 
 // Event is one structured framework event. Concrete types are plain value
@@ -475,6 +476,32 @@ func (StoreRejected) EventKind() Kind    { return KindStoreRejected }
 func (StoreRejected) EngineName() string { return "" }
 func (e StoreRejected) Logline() (string, []any) {
 	return "store rejected at %s: %s", []any{e.Path, e.Reason}
+}
+
+// SwitchSuppressed reports a variant switch the rule's point estimates
+// called for but confidence gating withheld: candidate To beat the incumbent
+// From on every criterion's point ratio, yet at the engine's configured
+// confidence level the candidate's upper cost bound did not stay under the
+// threshold on every criterion, so the costs are statistically
+// indistinguishable and the context holds — the anti-flapping half of
+// confidence-aware switching.
+type SwitchSuppressed struct {
+	Engine  string `json:"engine,omitempty"`
+	Context string `json:"context"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Round   int    `json:"round"` // 0-based monitoring round, like Transition.Round
+	// Ratio is the candidate's point-estimate ratio on the rule's first
+	// criterion; Level is the confidence level that suppressed the switch.
+	Ratio float64 `json:"ratio"`
+	Level float64 `json:"level"`
+}
+
+func (SwitchSuppressed) EventKind() Kind      { return KindSwitchSuppressed }
+func (e SwitchSuppressed) EngineName() string { return e.Engine }
+func (e SwitchSuppressed) Logline() (string, []any) {
+	return "switch suppressed at %s (round %d): %s -> %s overlaps at confidence %g",
+		[]any{e.Context, e.Round, e.From, e.To, e.Level}
 }
 
 // CheckDivergence reports a semantic divergence between a variant and the

@@ -45,15 +45,14 @@ type sample struct {
 	alloc float64 // bytes allocated per op
 }
 
-// fitDim fits one dimension of a sample series.
-func (b *Builder) fit(samples []sample, pick func(sample) float64) (polyfit.Poly, error) {
-	xs := make([]float64, len(samples))
-	ys := make([]float64, len(samples))
-	for i, s := range samples {
-		xs[i] = float64(s.size)
-		ys[i] = pick(s)
+// fit fits one dimension of a sample series with GCV-selected ridge
+// regularization, so the stored curve carries its prediction variance.
+func (b *Builder) fit(samples []sample, pick func(sample) float64) (polyfit.FitResult, error) {
+	s := polyfit.NewSamples(len(samples))
+	for _, sm := range samples {
+		s.Add(float64(sm.size), pick(sm))
 	}
-	return polyfit.Fit(xs, ys, b.Plan.Degree)
+	return polyfit.FitGCV(s, b.Plan.Degree)
 }
 
 // keysFor returns n distinct uniformly shuffled int keys, plus a probe set
@@ -174,18 +173,16 @@ func (b *Builder) fitSamples(m *Models, id collections.VariantID, op Op, dim Dim
 			}
 		}
 		if len(below) >= 2 && len(above) >= 2 {
-			fitSeg := func(seg []sample) (polyfit.Poly, error) {
+			fitSeg := func(seg []sample) (polyfit.FitResult, error) {
 				degree := b.Plan.Degree
 				if degree > len(seg)-1 {
 					degree = len(seg) - 1
 				}
-				xs := make([]float64, len(seg))
-				ys := make([]float64, len(seg))
-				for i, s := range seg {
-					xs[i] = float64(s.size)
-					ys[i] = pick(s)
+				s := polyfit.NewSamples(len(seg))
+				for _, sm := range seg {
+					s.Add(float64(sm.size), pick(sm))
 				}
-				return polyfit.Fit(xs, ys, degree)
+				return polyfit.FitGCV(s, degree)
 			}
 			pb, err := fitSeg(below)
 			if err != nil {
@@ -195,15 +192,15 @@ func (b *Builder) fitSamples(m *Models, id collections.VariantID, op Op, dim Dim
 			if err != nil {
 				return err
 			}
-			m.SetPiecewise(id, op, dim, thr, pb, pa)
+			m.SetPiecewiseWithVar(id, op, dim, thr, pb.Poly, pb.VarPoly(), pa.Poly, pa.VarPoly())
 			return nil
 		}
 	}
-	p, err := b.fit(samples, pick)
+	r, err := b.fit(samples, pick)
 	if err != nil {
 		return err
 	}
-	m.Set(id, op, dim, p)
+	m.SetWithVar(id, op, dim, r.Poly, r.VarPoly())
 	return nil
 }
 

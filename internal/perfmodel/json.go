@@ -17,11 +17,23 @@ import (
 // framework load them later, mirroring the paper's separation between the
 // offline benchmarking phase and the runtime library.
 
+// modelsSchema is the version written by WriteJSON. Version history:
+//
+//	0 (absent) — original format: curves of {upTo, coeffs} pieces.
+//	2          — pieces may carry a "var" prediction-variance polynomial.
+//
+// ReadJSON accepts any version ≤ modelsSchema: the additions are purely
+// optional fields, so older files decode as curves without uncertainty.
+const modelsSchema = 2
+
 // jsonPiece is one segment of a serialized curve. UpTo is nil for the
-// final, unbounded segment (JSON has no +Inf).
+// final, unbounded segment (JSON has no +Inf). Var, when present, is the
+// prediction-variance polynomial of the segment (ascending coefficients,
+// like Coeffs).
 type jsonPiece struct {
 	UpTo   *float64  `json:"upTo,omitempty"`
 	Coeffs []float64 `json:"coeffs"`
+	Var    []float64 `json:"var,omitempty"`
 }
 
 // jsonCurve is the serialized form of one fitted curve.
@@ -33,6 +45,9 @@ type jsonCurve struct {
 }
 
 type jsonModels struct {
+	// Schema is the format version (see modelsSchema). Zero or absent means
+	// the original, pre-versioning format.
+	Schema int `json:"schema,omitempty"`
 	// Fingerprint identifies the machine a measured model set was built
 	// on; omitted for machine-independent (analytic) models. Files written
 	// before fingerprints existed load as fingerprint-free.
@@ -42,7 +57,7 @@ type jsonModels struct {
 
 // WriteJSON serializes the models.
 func (m *Models) WriteJSON(w io.Writer) error {
-	doc := jsonModels{Fingerprint: m.fp, Curves: make([]jsonCurve, 0, len(m.curves))}
+	doc := jsonModels{Schema: modelsSchema, Fingerprint: m.fp, Curves: make([]jsonCurve, 0, len(m.curves))}
 	for k, cv := range m.curves {
 		jc := jsonCurve{
 			Variant:   string(k.Variant),
@@ -50,7 +65,7 @@ func (m *Models) WriteJSON(w io.Writer) error {
 			Dimension: string(k.Dim),
 		}
 		for _, p := range cv.pieces {
-			jp := jsonPiece{Coeffs: p.poly.Coeffs}
+			jp := jsonPiece{Coeffs: p.poly.Coeffs, Var: p.vp.Coeffs}
 			if !math.IsInf(p.upTo, 1) {
 				u := p.upTo
 				jp.UpTo = &u
@@ -80,6 +95,9 @@ func ReadJSON(r io.Reader) (*Models, error) {
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("perfmodel: decoding models: %w", err)
 	}
+	if doc.Schema > modelsSchema {
+		return nil, fmt.Errorf("perfmodel: model schema %d is newer than supported %d", doc.Schema, modelsSchema)
+	}
 	m := NewModels()
 	if doc.Fingerprint != nil {
 		m.fp = doc.Fingerprint
@@ -97,7 +115,11 @@ func ReadJSON(r io.Reader) (*Models, error) {
 			if jp.UpTo != nil {
 				upTo = *jp.UpTo
 			}
-			cv.pieces = append(cv.pieces, piece{upTo: upTo, poly: polyfit.Poly{Coeffs: jp.Coeffs}})
+			cv.pieces = append(cv.pieces, piece{
+				upTo: upTo,
+				poly: polyfit.Poly{Coeffs: jp.Coeffs},
+				vp:   polyfit.Poly{Coeffs: jp.Var},
+			})
 		}
 		m.curves[key{collections.VariantID(c.Variant), Op(c.Op), Dimension(c.Dimension)}] = cv
 	}

@@ -62,10 +62,15 @@ type key struct {
 }
 
 // piece is one segment of a cost curve: poly applies for sizes <= upTo.
-// The final piece of every curve has upTo = +Inf.
+// The final piece of every curve has upTo = +Inf. vp, when non-empty, is the
+// prediction-variance polynomial of the segment — StdErr(s)² as fitted by
+// polyfit (see FitResult.VarPoly) or the sampling variance of a measured
+// overlay band. An empty vp means the segment carries no uncertainty
+// information and its cost is treated as exact.
 type piece struct {
 	upTo float64
 	poly polyfit.Poly
+	vp   polyfit.Poly
 }
 
 // curve is a piecewise-polynomial cost function. Non-adaptive variants use
@@ -87,6 +92,20 @@ func (c curve) eval(s float64) float64 {
 		return c.pieces[n-1].poly.Eval(s)
 	}
 	return 0
+}
+
+// pieceAt returns the segment covering size s (the last one for s beyond
+// every bound, matching eval), ok=false for an empty curve.
+func (c curve) pieceAt(s float64) (piece, bool) {
+	for _, p := range c.pieces {
+		if s <= p.upTo {
+			return p, true
+		}
+	}
+	if n := len(c.pieces); n > 0 {
+		return c.pieces[n-1], true
+	}
+	return piece{}, false
 }
 
 // Models holds the fitted cost curves for a set of collection variants.
@@ -140,6 +159,13 @@ func (m *Models) Set(v collections.VariantID, op Op, dim Dimension, p polyfit.Po
 	m.curves[key{v, op, dim}] = curve{pieces: []piece{{upTo: math.Inf(1), poly: p}}}
 }
 
+// SetWithVar stores a single-polynomial cost curve together with its
+// prediction-variance polynomial (StdErr² as a function of size, from
+// polyfit.FitResult.VarPoly), enabling CostSE/CostCI on the curve.
+func (m *Models) SetWithVar(v collections.VariantID, op Op, dim Dimension, p, variance polyfit.Poly) {
+	m.curves[key{v, op, dim}] = curve{pieces: []piece{{upTo: math.Inf(1), poly: p, vp: variance}}}
+}
+
 // SetPiecewise stores a two-regime cost curve: below applies for sizes up
 // to threshold, above beyond it. Used for the adaptive variants, whose cost
 // functions kink at the representation transition.
@@ -147,6 +173,15 @@ func (m *Models) SetPiecewise(v collections.VariantID, op Op, dim Dimension, thr
 	m.curves[key{v, op, dim}] = curve{pieces: []piece{
 		{upTo: threshold, poly: below},
 		{upTo: math.Inf(1), poly: above},
+	}}
+}
+
+// SetPiecewiseWithVar is SetPiecewise with a prediction-variance polynomial
+// per regime.
+func (m *Models) SetPiecewiseWithVar(v collections.VariantID, op Op, dim Dimension, threshold float64, below, belowVar, above, aboveVar polyfit.Poly) {
+	m.curves[key{v, op, dim}] = curve{pieces: []piece{
+		{upTo: threshold, poly: below, vp: belowVar},
+		{upTo: math.Inf(1), poly: above, vp: aboveVar},
 	}}
 }
 
@@ -170,6 +205,49 @@ func (m *Models) Cost(v collections.VariantID, op Op, dim Dimension, size float6
 		return 0
 	}
 	return c
+}
+
+// CostSE returns the clamped cost estimate together with its standard error
+// at the given size. ok is false when the covering segment carries no
+// variance information (analytic defaults, merged curves), in which case the
+// cost must be treated as exact. Like Cost, it panics on a missing curve.
+func (m *Models) CostSE(v collections.VariantID, op Op, dim Dimension, size float64) (cost, se float64, ok bool) {
+	cv, found := m.curves[key{v, op, dim}]
+	if !found {
+		panic(fmt.Sprintf("perfmodel: no curve for %s/%s/%s", v, op, dim))
+	}
+	cost = cv.eval(size)
+	if cost < 0 {
+		cost = 0
+	}
+	p, found := cv.pieceAt(size)
+	if !found || len(p.vp.Coeffs) == 0 {
+		return cost, 0, false
+	}
+	variance := p.vp.Eval(size)
+	if variance < 0 || math.IsNaN(variance) {
+		variance = 0
+	}
+	return cost, math.Sqrt(variance), true
+}
+
+// CostCI returns the confidence interval Cost ± z·StdErr at the given size,
+// both bounds clamped to ≥ 0 like Cost itself. A segment without variance
+// information yields a zero-width interval at the point estimate, so curves
+// that predate uncertainty tracking never widen a decision.
+func (m *Models) CostCI(v collections.VariantID, op Op, dim Dimension, size, z float64) (lo, hi float64) {
+	cost, se, ok := m.CostSE(v, op, dim, size)
+	if !ok || se == 0 || z <= 0 {
+		return cost, cost
+	}
+	lo, hi = cost-z*se, cost+z*se
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	return lo, hi
 }
 
 // Curve returns the stored polynomial for (variant, op, dim) when it is a
@@ -228,6 +306,9 @@ func (m *Models) Merge(other *Models) {
 }
 
 // combine builds f(a, b) piecewise, merging the two curves' breakpoints.
+// Variance information does not survive combination: f is an arbitrary
+// polynomial map with no error-propagation rule, so combined curves (the
+// synthesized energy dimension) report no uncertainty.
 func combine(a, b curve, f func(pa, pb polyfit.Poly) polyfit.Poly) curve {
 	bounds := map[float64]bool{}
 	for _, p := range a.pieces {

@@ -18,10 +18,24 @@ import (
 // is oblivious to how many calibration passes produced it.
 
 // MeasuredPoint is one shadow-benchmark observation: the averaged cost of
-// an operation at collection size Size.
+// an operation at collection size Size. SE, when positive, is the standard
+// error of Value across the shadow benchmark's repeated batches; it becomes
+// the variance of the point's overlay band so the selector can see how
+// trustworthy the measurement is.
 type MeasuredPoint struct {
 	Size  float64 `json:"size"`
 	Value float64 `json:"value"`
+	SE    float64 `json:"se,omitempty"`
+}
+
+// bandPiece renders one measured point as the constant polynomial of its
+// band, with the point's sampling variance as the band's variance curve.
+func bandPiece(upTo float64, p MeasuredPoint) piece {
+	out := piece{upTo: upTo, poly: polyfit.Poly{Coeffs: []float64{p.Value}}}
+	if p.SE > 0 && !math.IsNaN(p.SE) && !math.IsInf(p.SE, 0) {
+		out.vp = polyfit.Poly{Coeffs: []float64{p.SE * p.SE}}
+	}
+	return out
 }
 
 // overlayBand is the half-width factor of the size band a lone measured
@@ -53,29 +67,24 @@ func (m *Models) OverlayMeasured(v collections.VariantID, op Op, dim Dimension, 
 		cuts = append(cuts, math.Sqrt(pts[i].Size*pts[i+1].Size))
 	}
 	cuts = append(cuts, high)
-	// measuredAt returns the band constant covering size x in (low, high].
-	measuredAt := func(x float64) polyfit.Poly {
+	// measuredAt returns the measured point whose band covers size x in
+	// (low, high].
+	measuredAt := func(x float64) MeasuredPoint {
 		for i, c := range cuts {
 			if x <= c {
-				return polyfit.Poly{Coeffs: []float64{pts[i].Value}}
+				return pts[i]
 			}
 		}
-		return polyfit.Poly{Coeffs: []float64{pts[len(pts)-1].Value}}
+		return pts[len(pts)-1]
 	}
 
 	if !hasPrior {
 		// Points alone: first band reaches down to 0, last to +Inf.
 		out := curve{}
 		for i := 0; i < len(pts)-1; i++ {
-			out.pieces = append(out.pieces, piece{
-				upTo: cuts[i],
-				poly: polyfit.Poly{Coeffs: []float64{pts[i].Value}},
-			})
+			out.pieces = append(out.pieces, bandPiece(cuts[i], pts[i]))
 		}
-		out.pieces = append(out.pieces, piece{
-			upTo: math.Inf(1),
-			poly: polyfit.Poly{Coeffs: []float64{pts[len(pts)-1].Value}},
-		})
+		out.pieces = append(out.pieces, bandPiece(math.Inf(1), pts[len(pts)-1]))
 		m.curves[k] = out
 		return
 	}
@@ -97,13 +106,13 @@ func (m *Models) OverlayMeasured(v collections.VariantID, op Op, dim Dimension, 
 	}
 	sort.Float64s(all)
 
-	priorAt := func(x float64) polyfit.Poly {
+	priorAt := func(x float64) piece {
 		for _, p := range prior.pieces {
 			if x <= p.upTo {
-				return p.poly
+				return p
 			}
 		}
-		return prior.pieces[len(prior.pieces)-1].poly
+		return prior.pieces[len(prior.pieces)-1]
 	}
 	out := curve{pieces: make([]piece, 0, len(all))}
 	for _, u := range all {
@@ -112,13 +121,14 @@ func (m *Models) OverlayMeasured(v collections.VariantID, op Op, dim Dimension, 
 		if math.IsInf(u, 1) {
 			x = math.MaxFloat64
 		}
-		var poly polyfit.Poly
+		var pc piece
 		if x > low && x <= high {
-			poly = measuredAt(x)
+			pc = bandPiece(u, measuredAt(x))
 		} else {
-			poly = priorAt(x)
+			pp := priorAt(x)
+			pc = piece{upTo: u, poly: pp.poly, vp: pp.vp}
 		}
-		out.pieces = append(out.pieces, piece{upTo: u, poly: poly})
+		out.pieces = append(out.pieces, pc)
 	}
 	m.curves[k] = out
 }

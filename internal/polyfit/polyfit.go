@@ -100,10 +100,31 @@ func Fit(xs, ys []float64, degree int) (Poly, error) {
 	return Poly{Coeffs: coeffs}, nil
 }
 
+// pivotRelTol is the relative pivot threshold of solve: a pivot smaller than
+// pivotRelTol times its column's original norm is treated as zero. The
+// historical threshold was the absolute constant 1e-12, which is meaningless
+// once the matrix entries are power sums of large sizes — a degree-3 normal
+// matrix over sizes ≥ 1e5 holds entries up to ~1e36, so a numerically dead
+// pivot (pure cancellation noise at ~1e20) still sailed past the absolute
+// check and the elimination "succeeded" with garbage coefficients.
+const pivotRelTol = 1e-12
+
 // solve performs Gaussian elimination with partial pivoting on the n×(n+1)
-// augmented matrix a, returning the solution vector.
+// augmented matrix a, returning the solution vector. Pivot degeneracy is
+// judged relative to each column's norm in the original matrix, so detection
+// is invariant under uniform scaling of the system.
 func solve(a [][]float64) ([]float64, error) {
 	n := len(a)
+	// Column norms of the matrix as handed in (the coefficient part only),
+	// before elimination rewrites it.
+	colNorm := make([]float64, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			if v := math.Abs(a[r][c]); v > colNorm[c] {
+				colNorm[c] = v
+			}
+		}
+	}
 	for col := 0; col < n; col++ {
 		// Partial pivot: the row with the largest magnitude in col.
 		pivot := col
@@ -112,7 +133,7 @@ func solve(a [][]float64) ([]float64, error) {
 				pivot = r
 			}
 		}
-		if math.Abs(a[pivot][col]) < 1e-12 {
+		if math.Abs(a[pivot][col]) < pivotRelTol*colNorm[col] {
 			return nil, ErrBadFit
 		}
 		a[col], a[pivot] = a[pivot], a[col]

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"math"
 	"math/rand"
 	"time"
 
@@ -26,6 +27,12 @@ const shadowSizeCap = 1 << 15
 // dominate timer overhead, short enough that deadline overshoot stays small.
 const batchSliceNs = 200_000 // 200µs
 
+// seBatches is how many trusted (≥ batchSliceNs) batches timeOp tries to
+// collect: the spread of their per-call means yields the measurement's
+// standard error, which the overlay bands carry into the models' prediction
+// intervals. One batch (deadline pressure) means no spread estimate — SE 0.
+const seBatches = 3
+
 // shadowCell identifies one (variant, size) measurement unit. All four
 // critical operations (and the footprint) are measured together: populate
 // has to run anyway to build the instance the other ops probe.
@@ -34,12 +41,34 @@ type shadowCell struct {
 	Size int
 }
 
-// cellPoints is the yield of one measured cell: per-op time points and an
-// optional footprint point, all at the cell's size.
+// cellPoints is the yield of one measured cell: per-op time points (with
+// their sampling standard errors) and an optional footprint point, all at
+// the cell's size.
 type cellPoints struct {
 	timeNs    map[perfmodel.Op]float64
+	timeSE    map[perfmodel.Op]float64
 	footprint float64
 	footOK    bool
+}
+
+// cellUncertainty scores a cell by how unsure the active models are about
+// it: the summed per-op prediction standard error of the time curves at the
+// cell's size. A missing curve, or one fitted without variance, scores +Inf
+// — nothing is known there, so the planner measures it first.
+func cellUncertainty(models *perfmodel.Models, c shadowCell) float64 {
+	total := 0.0
+	s := float64(c.Size)
+	for _, op := range perfmodel.Ops() {
+		if !models.Has(c.ID, op, perfmodel.DimTimeNS) {
+			return math.Inf(1)
+		}
+		_, se, ok := models.CostSE(c.ID, op, perfmodel.DimTimeNS, s)
+		if !ok {
+			return math.Inf(1)
+		}
+		total += se
+	}
+	return total
 }
 
 // shadowKeys mirrors the model builder's key scheme: n distinct shuffled
@@ -58,41 +87,52 @@ func shadowKeys(n int) (keys, probes []int) {
 // deadline. It returns whatever was measured before the deadline — possibly
 // only the leading operations, possibly nothing (empty timeNs map).
 func measureCell(ad collections.BenchAdapter, size int, deadline time.Time) cellPoints {
-	out := cellPoints{timeNs: make(map[perfmodel.Op]float64)}
+	out := cellPoints{
+		timeNs: make(map[perfmodel.Op]float64),
+		timeSE: make(map[perfmodel.Op]float64),
+	}
 	keys, probes := shadowKeys(size)
 	var h collections.BenchHandle
 	// Populate is charged per complete population to size (the Table 3
 	// convention), so its point is per-call time — one call builds one
 	// instance, and the last instance built is probed by the other ops.
-	ns, ok := timeOp(deadline, func() { h = ad(keys) })
+	ns, se, ok := timeOp(deadline, func() { h = ad(keys) })
 	if !ok || h == nil {
 		return out // deadline spent before a single populate: measure nothing
 	}
 	out.timeNs[perfmodel.OpPopulate] = ns
+	out.timeSE[perfmodel.OpPopulate] = se
 	if b, ok := h.Footprint(); ok {
 		out.footprint = float64(b)
 		out.footOK = true
 	}
 	i := 0
-	if ns, ok := timeOp(deadline, func() { h.Contains(probes[i&255]); i++ }); ok {
+	if ns, se, ok := timeOp(deadline, func() { h.Contains(probes[i&255]); i++ }); ok {
 		out.timeNs[perfmodel.OpContains] = ns
+		out.timeSE[perfmodel.OpContains] = se
 	}
-	if ns, ok := timeOp(deadline, func() { h.Iterate() }); ok {
+	if ns, se, ok := timeOp(deadline, func() { h.Iterate() }); ok {
 		out.timeNs[perfmodel.OpIterate] = ns
+		out.timeSE[perfmodel.OpIterate] = se
 	}
-	if ns, ok := timeOp(deadline, func() { h.Middle() }); ok {
+	if ns, se, ok := timeOp(deadline, func() { h.Middle() }); ok {
 		out.timeNs[perfmodel.OpMiddle] = ns
+		out.timeSE[perfmodel.OpMiddle] = se
 	}
 	return out
 }
 
 // timeOp estimates fn's per-call time in nanoseconds with geometrically
-// growing batches, stopping once a batch is long enough to trust
-// (batchSliceNs) or the deadline passes. ok=false means the deadline was
-// already spent before a single call could run.
-func timeOp(deadline time.Time, fn func()) (nsPerCall float64, ok bool) {
+// growing batches. Once a batch is long enough to trust (batchSliceNs) the
+// same batch size is repeated up to seBatches times (deadline permitting) and
+// the spread of the per-call batch means yields the estimate's standard
+// error — se 0 when only one trusted batch fit. ok=false means the deadline
+// was already spent before a single call could run.
+func timeOp(deadline time.Time, fn func()) (nsPerCall, se float64, ok bool) {
 	var totalNs, totalCalls float64
-	for n := 1; ; n *= 4 {
+	var batchMeans []float64
+	n := 1
+	for {
 		if !time.Now().Before(deadline) {
 			break
 		}
@@ -104,11 +144,28 @@ func timeOp(deadline time.Time, fn func()) (nsPerCall float64, ok bool) {
 		totalNs += float64(batch.Nanoseconds())
 		totalCalls += float64(n)
 		if batch.Nanoseconds() >= batchSliceNs {
-			break
+			batchMeans = append(batchMeans, float64(batch.Nanoseconds())/float64(n))
+			if len(batchMeans) >= seBatches {
+				break
+			}
+			continue // repeat the trusted batch size for the spread estimate
 		}
+		n *= 4
 	}
 	if totalCalls == 0 {
-		return 0, false
+		return 0, 0, false
 	}
-	return totalNs / totalCalls, true
+	if k := len(batchMeans); k >= 2 {
+		var mean, ss float64
+		for _, b := range batchMeans {
+			mean += b
+		}
+		mean /= float64(k)
+		for _, b := range batchMeans {
+			d := b - mean
+			ss += d * d
+		}
+		se = math.Sqrt(ss/float64(k-1)) / math.Sqrt(float64(k))
+	}
+	return totalNs / totalCalls, se, true
 }

@@ -215,7 +215,7 @@ func (t *Tuner) RunOnce() int {
 			size := float64(c.Size)
 			for op, ns := range pts.timeNs {
 				k := pointKey{c.ID, op, perfmodel.DimTimeNS}
-				t.points[k] = append(t.points[k], perfmodel.MeasuredPoint{Size: size, Value: ns})
+				t.points[k] = append(t.points[k], perfmodel.MeasuredPoint{Size: size, Value: ns, SE: pts.timeSE[op]})
 			}
 			if pts.footOK {
 				// The cost fold charges footprint through the populate curve.
@@ -272,6 +272,7 @@ func (t *Tuner) refinedModels() *perfmodel.Models {
 // for every site that has folded at least one instance, each candidate
 // variant is measured at the site's mean and max observed size (clamped to
 // shadowSizeCap). Cells already measured in an earlier cycle are skipped.
+// Cells are ranked by model uncertainty, most uncertain first (see below).
 // The returned sites count is the number of sites that contributed cells.
 func (t *Tuner) plan(snaps []core.SiteSnapshot) ([]shadowCell, int) {
 	t.mu.Lock()
@@ -299,9 +300,22 @@ func (t *Tuner) plan(snaps []core.SiteSnapshot) ([]shadowCell, int) {
 			sites++
 		}
 	}
-	// Measure small cells first: if the budget cuts the cycle short, the
-	// cheap, most commonly hit sizes are covered before the expensive tail.
+	// Measure where the models are least sure first: cells whose curves are
+	// missing or carry no variance (+Inf score), then descending summed
+	// prediction SE at the cell's size. If the budget cuts the cycle short,
+	// the measurements that shrink the models' confidence intervals most are
+	// already in. Equal scores fall back to smallest-size-first, so a fully
+	// uncertain plan keeps the historical cheap-cells-first order.
+	models := t.cfg.Engine.Models()
+	score := make(map[shadowCell]float64, len(cells))
+	for _, c := range cells {
+		score[c] = cellUncertainty(models, c)
+	}
 	sort.Slice(cells, func(i, j int) bool {
+		si, sj := score[cells[i]], score[cells[j]]
+		if si != sj {
+			return si > sj
+		}
 		if cells[i].Size != cells[j].Size {
 			return cells[i].Size < cells[j].Size
 		}
