@@ -1,0 +1,343 @@
+// Command collload is the saturation load harness for cmd/collserve: it
+// drives a configurable number of concurrent workers through a phase
+// schedule of shifting operation mixes (read-heavy → write-heavy →
+// scan-heavy), measures per-phase request latency (p50/p90/p99), and prints
+// a machine-readable summary including the selection transitions the server
+// performed during the run (scraped from /metrics through the promtext
+// parser).
+//
+//	collload -addr 127.0.0.1:8377 -phases write:5s,scan:5s,write:5s -conc 8
+//
+// Workers rotate through key "generations" (-rotate): every rotation starts
+// populating fresh keys, so server-side collections keep being created and
+// (via FIFO eviction) keep dying — the churn the engine's monitoring windows
+// need to close and re-select under load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs/promtext"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+type opts struct {
+	base      string
+	conc      int
+	series    int
+	rSeries   int
+	span      int64
+	rSpan     int64
+	scanWidth int64
+	kvSpan    int64
+	rotate    time.Duration
+	rps       float64
+	addBurst  int
+	rAddBurst int
+	scanBurst int
+}
+
+// phaseResult aggregates one phase across all workers.
+type phaseResult struct {
+	Name       string  `json:"name"`
+	Seconds    float64 `json:"seconds"`
+	Ops        int64   `json:"ops"`
+	Errors     int64   `json:"errors"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MaxMicros  float64 `json:"max_us"`
+	MeanMicros float64 `json:"mean_us"`
+}
+
+// summary is the final machine-readable line.
+type summary struct {
+	Addr        string            `json:"addr"`
+	Conc        int               `json:"conc"`
+	Phases      []phaseResult     `json:"phases"`
+	Transitions int64             `json:"transitions"`
+	Variants    map[string]string `json:"variants,omitempty"`
+	Fixed       string            `json:"fixed,omitempty"`
+	Evicted     map[string]int64  `json:"evicted,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "collserve address (host:port)")
+	phasesSpec := flag.String("phases", "write:5s,read:5s,scan:5s", "phase schedule: name:duration,... (mixes: "+strings.Join(workload.MixNames(), ", ")+")")
+	conc := flag.Int("conc", 8, "concurrent workers")
+	rps := flag.Float64("rps", 0, "total requests/sec throttle (0 = unthrottled)")
+	series := flag.Int("series", 48, "distinct set keys per generation (fewer keys = larger sets)")
+	rSeries := flag.Int("rseries", 0, "distinct range series per generation (0 = same as -series)")
+	span := flag.Int64("span", 20000, "set member value span (drives set sizes)")
+	rSpan := flag.Int64("rspan", 0, "range member value span (0 = same as -span); keep moderate to stay in the sorted variants' sweet spot")
+	scanWidth := flag.Int64("scanwidth", 400, "width of each range-scan window")
+	kvSpan := flag.Int64("kvspan", 1<<14, "kv key span per generation")
+	rotate := flag.Duration("rotate", 2*time.Second, "key-generation rotation period")
+	addBurst := flag.Int("addburst", 8, "members per batched set-add request (bulk ingest)")
+	rAddBurst := flag.Int("raddburst", 0, "members per batched range-add request (0 = same as -addburst)")
+	scanBurst := flag.Int("scanburst", 8, "windows per batched scan request (dashboard query)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	phases, err := workload.ParseServicePhases(*phasesSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collload: %v\n", err)
+		os.Exit(2)
+	}
+	o := opts{
+		base: "http://" + *addr, conc: *conc, series: *series, rSeries: *rSeries,
+		span: *span, rSpan: *rSpan, scanWidth: *scanWidth, kvSpan: *kvSpan,
+		rotate: *rotate, rps: *rps, addBurst: *addBurst, rAddBurst: *rAddBurst,
+		scanBurst: *scanBurst,
+	}
+	if o.rSeries <= 0 {
+		o.rSeries = o.series
+	}
+	if o.rSpan <= 0 {
+		o.rSpan = o.span
+	}
+	if o.rAddBurst <= 0 {
+		o.rAddBurst = o.addBurst
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc * 2,
+			MaxIdleConnsPerHost: *conc * 2,
+		},
+		Timeout: 30 * time.Second,
+	}
+	if err := waitReady(client, o.base, 10*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "collload: server not ready: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Shared run state: the controller advances phase and generation, the
+	// workers read both on every op.
+	var phaseIdx atomic.Int32
+	var gen atomic.Int64
+	stop := make(chan struct{})
+
+	// latencies[worker][phase] accumulates microseconds lock-free per
+	// worker; merged after the run.
+	latencies := make([][][]float64, *conc)
+	errCounts := make([][]int64, *conc)
+	for w := range latencies {
+		latencies[w] = make([][]float64, len(phases))
+		errCounts[w] = make([]int64, len(phases))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			var pause time.Duration
+			if o.rps > 0 {
+				pause = time.Duration(float64(*conc) / o.rps * float64(time.Second))
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pi := int(phaseIdx.Load())
+				g := gen.Load()
+				start := time.Now()
+				ok := doOp(client, o, phases[pi].Mix.Pick(r), r, g)
+				lat := time.Since(start)
+				latencies[w][pi] = append(latencies[w][pi], float64(lat.Microseconds()))
+				if !ok {
+					errCounts[w][pi]++
+				}
+				if pause > 0 {
+					time.Sleep(pause)
+				}
+			}
+		}(w)
+	}
+
+	// Rotation ticker: new generations create fresh server-side collections.
+	rotateDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(o.rotate)
+		defer t.Stop()
+		for {
+			select {
+			case <-rotateDone:
+				return
+			case <-t.C:
+				gen.Add(1)
+			}
+		}
+	}()
+
+	// Drive the schedule.
+	phaseStarts := make([]time.Time, len(phases))
+	for i, ph := range phases {
+		phaseIdx.Store(int32(i))
+		phaseStarts[i] = time.Now()
+		fmt.Printf("phase %d/%d %s for %s\n", i+1, len(phases), ph.Name, ph.Duration)
+		time.Sleep(ph.Duration)
+	}
+	close(stop)
+	close(rotateDone)
+	wg.Wait()
+
+	// Merge and report.
+	sum := summary{Addr: *addr, Conc: *conc}
+	for i, ph := range phases {
+		var lat []float64
+		var errs int64
+		for w := 0; w < *conc; w++ {
+			lat = append(lat, latencies[w][i]...)
+			errs += errCounts[w][i]
+		}
+		pr := phaseResult{
+			Name:    ph.Name,
+			Seconds: ph.Duration.Seconds(),
+			Ops:     int64(len(lat)),
+			Errors:  errs,
+		}
+		if len(lat) > 0 {
+			pr.OpsPerSec = float64(len(lat)) / ph.Duration.Seconds()
+			pr.P50Micros = stats.Percentile(lat, 50)
+			pr.P90Micros = stats.Percentile(lat, 90)
+			pr.P99Micros = stats.Percentile(lat, 99)
+			pr.MaxMicros = stats.Percentile(lat, 100)
+			pr.MeanMicros = stats.Mean(lat)
+		}
+		sum.Phases = append(sum.Phases, pr)
+		fmt.Printf("phase=%s ops=%d errs=%d ops_per_sec=%.0f p50_us=%.0f p90_us=%.0f p99_us=%.0f max_us=%.0f\n",
+			pr.Name, pr.Ops, pr.Errors, pr.OpsPerSec, pr.P50Micros, pr.P90Micros, pr.P99Micros, pr.MaxMicros)
+	}
+
+	// Scrape the server's selection state: transitions from /metrics (the
+	// exposition must round-trip through the strict promtext parser) and
+	// the live variants from /stats.
+	if trans, err := scrapeTransitions(client, o.base); err != nil {
+		fmt.Fprintf(os.Stderr, "collload: scraping /metrics: %v\n", err)
+	} else {
+		sum.Transitions = trans
+	}
+	if st, err := scrapeStats(client, o.base); err == nil {
+		sum.Variants = st.Variants
+		sum.Fixed = st.Fixed
+		sum.Evicted = st.Evicted
+	}
+
+	out, err := json.Marshal(sum)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collload: encoding summary: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("RESULT %s\n", out)
+}
+
+// waitReady polls /healthz until the server answers.
+func waitReady(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("healthz: %s", resp.Status)
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// doOp issues one request; false counts as an error. 4xx on bad luck (e.g. a
+// get before any put) does not occur by construction — every op space is
+// self-contained — so any non-200 is a real failure.
+func doOp(client *http.Client, o opts, op workload.ServiceOp, r *rand.Rand, gen int64) bool {
+	var url string
+	switch op {
+	case workload.OpSetAdd:
+		url = fmt.Sprintf("%s/set/add?key=s%d-%d&m=%d&cnt=%d", o.base, gen, r.Intn(o.series), r.Int63n(o.span), o.addBurst)
+	case workload.OpSetHas:
+		url = fmt.Sprintf("%s/set/has?key=s%d-%d&m=%d", o.base, gen, r.Intn(o.series), r.Int63n(o.span))
+	case workload.OpKVPut:
+		k := gen*o.kvSpan + r.Int63n(o.kvSpan)
+		url = fmt.Sprintf("%s/kv/put?k=%d&v=%d", o.base, k, r.Int63())
+	case workload.OpKVGet:
+		k := gen*o.kvSpan + r.Int63n(o.kvSpan)
+		url = fmt.Sprintf("%s/kv/get?k=%d", o.base, k)
+	case workload.OpRangeAdd:
+		url = fmt.Sprintf("%s/range/add?series=r%d-%d&t=%d&cnt=%d", o.base, gen, r.Intn(o.rSeries), r.Int63n(o.rSpan), o.rAddBurst)
+	case workload.OpRangeScan:
+		from := r.Int63n(o.rSpan)
+		url = fmt.Sprintf("%s/range/scan?series=r%d-%d&from=%d&to=%d&cnt=%d", o.base, gen, r.Intn(o.rSeries), from, from+o.scanWidth, o.scanBurst)
+	default:
+		return false
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// scrapeTransitions parses /metrics with the strict exposition parser and
+// sums the collectionswitch_transitions_total samples.
+func scrapeTransitions(client *http.Client, base string) (int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, f := range fams {
+		if f.Name != "collectionswitch_transitions_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			total += int64(s.Value)
+		}
+	}
+	return total, nil
+}
+
+type statsView struct {
+	Variants map[string]string `json:"variants"`
+	Fixed    string            `json:"fixed"`
+	Evicted  map[string]int64  `json:"collections_evicted"`
+}
+
+func scrapeStats(client *http.Client, base string) (statsView, error) {
+	var st statsView
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}

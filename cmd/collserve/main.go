@@ -1,0 +1,105 @@
+// Command collserve runs the collection-aware in-memory index/cache service
+// (internal/service): keyed membership sets, an int→int map with point
+// lookups, and sorted series answering range scans — every internal
+// collection created through an engine-managed allocation site. The same
+// port serves traffic and the introspection surface (/metrics Prometheus
+// text, /sites, /sites/{name}/explain, /events, /stats, /healthz).
+//
+// Run adaptive (default) or pinned to a single fixed variant for baseline
+// comparisons:
+//
+//	collserve -addr :8377
+//	collserve -addr :8378 -fixed sortedarray
+//
+// Drive it with cmd/collload. SIGINT/SIGTERM triggers the graceful
+// lifecycle: drain in-flight requests, final analysis pass, store save,
+// engine close — then exit 0. Bind or accept failures exit 1 immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address (host:port, :0 picks a free port)")
+	fixed := flag.String("fixed", "", "pin all stores to one variant family ("+strings.Join(service.FixedModes(), ", ")+"); empty = adaptive selection")
+	window := flag.Int("window", 100, "monitoring window size (instances per round)")
+	rate := flag.Duration("rate", 50*time.Millisecond, "background analysis period")
+	cooldown := flag.Float64("cooldown", 1, "cooldown windows between rounds (<0 disables)")
+	confidence := flag.Float64("confidence", 0, "confidence level for interval-gated switching (0 disables)")
+	shards := flag.Int("shards", 8, "lock shards per store")
+	maxKeys := flag.Int("maxkeys", 512, "live-key cap per shard per store (FIFO eviction)")
+	storeDir := flag.String("store", "", "warm-start store directory (empty disables persistence)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	readHeaderTimeout := flag.Duration("read-header-timeout", diag.DefaultTimeouts().ReadHeader, "HTTP read-header timeout (0 disables)")
+	flag.Parse()
+
+	timeouts := diag.DefaultTimeouts()
+	timeouts.ReadHeader = *readHeaderTimeout
+
+	svc, err := service.New(service.Config{
+		Engine: core.Config{
+			WindowSize:      *window,
+			MonitorRate:     *rate,
+			Rule:            core.Rtime(),
+			CooldownWindows: *cooldown,
+			ConfidenceLevel: *confidence,
+		},
+		Fixed:           *fixed,
+		Shards:          *shards,
+		MaxKeysPerShard: *maxKeys,
+		StoreDir:        *storeDir,
+		Timeouts:        timeouts,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	sampler := obs.StartRuntimeSampler(svc.Registry(), time.Second)
+	defer sampler.Close()
+
+	if err := svc.Start(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "collserve: bind %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	mode := *fixed
+	if mode == "" {
+		mode = "adaptive"
+	}
+	fmt.Printf("collserve listening on http://%s (mode=%s window=%d rate=%s)\n",
+		svc.Addr(), mode, *window, *rate)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("collserve: %s — draining\n", sig)
+	case err := <-svc.Err():
+		// The accept loop died without a shutdown being requested: this is
+		// the fail-fast path the ListenAndServe bugfix exists for.
+		fmt.Fprintf(os.Stderr, "collserve: serve failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "collserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("collserve: clean shutdown — requests=%d transitions=%d\n",
+		svc.RequestsTotal(), svc.Registry().TransitionsTotal())
+}

@@ -81,12 +81,19 @@ func main() {
 		defer stopSig()
 		sampler := obs.StartRuntimeSampler(o.Metrics, time.Second)
 		defer sampler.Close()
-		httpSrv, addr, err := server.ListenAndServe(*httpAddr)
+		httpSrv, addr, serveErr, err := server.ListenAndServe(*httpAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "starting introspection server: %v\n", err)
 			os.Exit(1)
 		}
-		defer httpSrv.Close()
+		defer func() {
+			httpSrv.Close()
+			// The accept loop reports exactly once after Close; a non-nil
+			// value here means serving died mid-run, not at shutdown.
+			if err := <-serveErr; err != nil {
+				fmt.Fprintf(os.Stderr, "introspection server failed: %v\n", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "introspection server on http://%s (try /metrics, /sites, /events)\n", addr)
 		if *linger > 0 {
 			lingerFn = func() {

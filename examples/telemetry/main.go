@@ -180,7 +180,7 @@ func main() {
 	// 4. The live introspection server answers the same questions over
 	// HTTP while the service runs — here it is queried from the process
 	// itself, but any curl works (a closed engine stays inspectable).
-	srv, addr, err := server.ListenAndServe("127.0.0.1:0")
+	srv, addr, _, err := server.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "starting introspection server:", err)
 		os.Exit(1)

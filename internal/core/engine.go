@@ -749,6 +749,17 @@ func (e *Engine) Transitions() []Transition {
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Closed reports whether Close has begun. A closed engine runs no further
+// background analysis and drops new registrations, but its contexts remain
+// usable for collection creation and every snapshot surface (SiteStatuses,
+// Explain, Transitions) keeps serving the last state — which is what the
+// introspection endpoints and the service lifecycle consult it for.
+func (e *Engine) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
 // Metrics returns the engine's metrics registry (never nil).
 func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 

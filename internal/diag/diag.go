@@ -33,6 +33,33 @@ import (
 	"repro/internal/obs"
 )
 
+// Timeouts bounds the per-connection I/O of the HTTP server ListenAndServe
+// constructs. The zero value of a field disables that timeout — pass the
+// result of DefaultTimeouts (possibly modified) rather than a zero struct
+// unless an unbounded server is genuinely wanted.
+type Timeouts struct {
+	// ReadHeader bounds how long a client may take to send the request
+	// header; it is the defence against stalled-header connection pinning.
+	ReadHeader time.Duration
+	// Read bounds the whole request read, Write the whole response write,
+	// Idle how long a keep-alive connection may sit between requests.
+	Read  time.Duration
+	Write time.Duration
+	Idle  time.Duration
+}
+
+// DefaultTimeouts returns the timeouts new servers start with: generous for
+// any real scrape, but strict enough that a stalled or byte-dribbling client
+// cannot hold a connection (and its file descriptor) open indefinitely.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{
+		ReadHeader: 5 * time.Second,
+		Read:       30 * time.Second,
+		Write:      30 * time.Second,
+		Idle:       2 * time.Minute,
+	}
+}
+
 // Server exposes the introspection endpoints over a set of attached engines.
 // Construct with New, register engines with Attach (safe at any time, also
 // mid-serve), and mount Handler on any http server — or use ListenAndServe.
@@ -40,8 +67,9 @@ type Server struct {
 	reg *obs.Registry
 	rec *obs.FlightRecorder
 
-	mu      sync.Mutex
-	engines []*core.Engine
+	mu       sync.Mutex
+	engines  []*core.Engine
+	timeouts Timeouts
 }
 
 // New returns a server rendering the given registry on /metrics and the
@@ -52,7 +80,23 @@ func New(reg *obs.Registry, rec *obs.FlightRecorder) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Server{reg: reg, rec: rec}
+	return &Server{reg: reg, rec: rec, timeouts: DefaultTimeouts()}
+}
+
+// SetTimeouts overrides the connection timeouts applied by ListenAndServe
+// and ServeListener. It replaces the whole set: zero fields disable that
+// timeout. Takes effect for servers started after the call.
+func (s *Server) SetTimeouts(t Timeouts) {
+	s.mu.Lock()
+	s.timeouts = t
+	s.mu.Unlock()
+}
+
+// Timeouts returns the currently configured connection timeouts.
+func (s *Server) Timeouts() Timeouts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timeouts
 }
 
 // Registry returns the registry the server renders on /metrics.
@@ -87,34 +131,74 @@ func (s *Server) snapshot() []*core.Engine {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/{$}", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics", guard(s.handleMetrics))
 	mux.Handle("/debug/vars", expvar.Handler())
 	// Site names routinely contain '/' (e.g. "telemetry/AlertSet"), so
 	// /sites/{name}/explain is parsed manually rather than with a ServeMux
 	// wildcard, which would split on the slashes.
-	mux.HandleFunc("/sites", s.handleSites)
-	mux.HandleFunc("/sites/", s.handleExplain)
-	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/sites", guard(s.handleSites))
+	mux.HandleFunc("/sites/", guard(s.handleExplain))
+	mux.HandleFunc("/events", guard(s.handleEvents))
 	return mux
 }
 
+// guard recovers handler panics into a 503. The introspection handlers read
+// engines that may be concurrently Close()d; every snapshot method they call
+// is mutex-guarded and remains valid after close, but diagnostics must
+// degrade to an error response — never take the process down — if that
+// invariant ever regresses mid-scrape.
+func guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// If the handler already wrote, this extra status is a
+				// no-op on the wire; the client sees a truncated body.
+				http.Error(w, fmt.Sprintf("introspection snapshot failed: %v", rec),
+					http.StatusServiceUnavailable)
+			}
+		}()
+		h(w, r)
+	}
+}
+
 // ListenAndServe binds addr (":0" picks a free port), serves the handler on
-// a background goroutine and returns the bound address. The returned
-// http.Server can be Closed/Shutdown by the caller.
-func (s *Server) ListenAndServe(addr string) (*http.Server, string, error) {
+// a background goroutine and returns the server, the bound address, and a
+// 1-buffered channel that carries the terminal serve error. The channel
+// receives exactly one value when the accept loop stops: nil after a clean
+// Shutdown/Close, the underlying error otherwise — so an embedding process
+// (cmd/collserve) fails fast on accept errors instead of silently serving
+// nothing. The returned http.Server can be Closed/Shutdown by the caller.
+func (s *Server) ListenAndServe(addr string) (*http.Server, string, <-chan error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	srv, errc := s.ServeListener(ln)
+	return srv, ln.Addr().String(), errc, nil
+}
+
+// ServeListener serves the handler on ln from a background goroutine with
+// the configured Timeouts applied, returning the http.Server and the
+// terminal-error channel (see ListenAndServe). Split out so callers and
+// tests can bring their own listener.
+func (s *Server) ServeListener(ln net.Listener) (*http.Server, <-chan error) {
+	t := s.Timeouts()
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+	errc := make(chan error, 1)
 	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			// Serving diagnostics must never take the process down; the
-			// error surfaces when the caller Closes the server.
-			_ = err
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
 		}
+		errc <- err
 	}()
-	return srv, ln.Addr().String(), nil
+	return srv, errc
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +226,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type siteEntry struct {
 	Engine     string  `json:"engine"`
 	Confidence float64 `json:"confidence,omitempty"`
+	// Closed marks rows from an engine whose Close has begun: the row is
+	// the engine's final state, not a live reading. Scrapes racing a
+	// shutdown get last-snapshot semantics instead of an error.
+	Closed bool `json:"closed,omitempty"`
 	core.SiteStatus
 }
 
@@ -150,8 +238,9 @@ func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
 	entries := make([]siteEntry, 0, 16)
 	for _, e := range engines {
 		cfg := e.Config()
+		closed := e.Closed()
 		for _, st := range e.SiteStatuses() {
-			entries = append(entries, siteEntry{Engine: cfg.Name, Confidence: cfg.ConfidenceLevel, SiteStatus: st})
+			entries = append(entries, siteEntry{Engine: cfg.Name, Confidence: cfg.ConfidenceLevel, Closed: closed, SiteStatus: st})
 		}
 	}
 	writeJSON(w, map[string]any{
@@ -182,6 +271,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, map[string]any{
 				"site":    name,
 				"engine":  e.Config().Name,
+				"closed":  e.Closed(),
 				"variant": st.Variant,
 				"records": recs,
 			})

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -270,14 +273,162 @@ func TestAttachIsSafeMidServe(t *testing.T) {
 func TestListenAndServe(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := New(reg, obs.NewFlightRecorder(8))
-	srv, addr, err := s.ListenAndServe("127.0.0.1:0")
+	srv, addr, serveErr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	code, body := get(t, fmt.Sprintf("http://%s/metrics", addr))
+	if code != http.StatusOK || !strings.Contains(body, "collectionswitch_") {
+		t.Errorf("served /metrics = %d:\n%.200s", code, body)
+	}
+	// The constructed server must carry the configured timeouts — this is
+	// the regression fence for the zero-timeout http.Server bug.
+	want := DefaultTimeouts()
+	if srv.ReadHeaderTimeout != want.ReadHeader || srv.ReadTimeout != want.Read ||
+		srv.WriteTimeout != want.Write || srv.IdleTimeout != want.Idle {
+		t.Errorf("server timeouts = %v/%v/%v/%v, want %+v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.WriteTimeout, srv.IdleTimeout, want)
+	}
+	srv.Close()
+	if err := <-serveErr; err != nil {
+		t.Errorf("serve error after clean Close = %v, want nil", err)
+	}
+}
+
+// TestListenAndServePropagatesServeErrors pins the third bugfix of ISSUE 9:
+// an accept-loop failure must reach the caller instead of being dropped in
+// the serving goroutine.
+func TestListenAndServePropagatesServeErrors(t *testing.T) {
+	s := New(obs.NewRegistry(), nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln.Close() // doom the listener before Serve touches it
+	_, serveErr := s.ServeListener(ln)
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("Serve on a closed listener reported nil, want an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve failure never propagated to the caller")
+	}
+}
+
+// TestSlowClientCannotPinConnection proves a stalled request header no
+// longer holds a connection open indefinitely: with ReadHeaderTimeout set,
+// the server must hang up on a client that sends half a header and stops.
+func TestSlowClientCannotPinConnection(t *testing.T) {
+	s := New(obs.NewRegistry(), nil)
+	s.SetTimeouts(Timeouts{
+		ReadHeader: 150 * time.Millisecond,
+		Read:       time.Second,
+		Write:      time.Second,
+		Idle:       time.Second,
+	})
+	srv, addr, _, err := s.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("ListenAndServe: %v", err)
 	}
 	defer srv.Close()
-	code, body := get(t, fmt.Sprintf("http://%s/metrics", addr))
-	if code != http.StatusOK || !strings.Contains(body, "collectionswitch_") {
-		t.Errorf("served /metrics = %d:\n%.200s", code, body)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Half a request: header never terminated, then silence.
+	if _, err := io.WriteString(conn, "GET /metrics HTTP/1.1\r\nHost: stall\r\n"); err != nil {
+		t.Fatalf("write partial header: %v", err)
+	}
+	start := time.Now()
+	// Before the fix the server read forever and this Read blocked until
+	// the deadline; now the server must close the connection itself.
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatalf("set deadline: %v", err)
+	}
+	buf := make([]byte, 256)
+	for {
+		_, err := conn.Read(buf)
+		if err == nil {
+			continue // e.g. a 408 response body before the close
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatalf("connection still open %s after a stalled header; server never hung up", time.Since(start))
+		}
+		break // EOF / reset: the server dropped the stalled client
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("server took %s to drop a stalled header; ReadHeaderTimeout was 150ms", elapsed)
+	}
+}
+
+// TestScrapeDuringEngineClose races every introspection endpoint against
+// engines shutting down concurrently; under -race this pins the second
+// ISSUE 9 bugfix — snapshot reads must never touch torn engine state, and
+// rows from a closed engine surface last-snapshot semantics.
+func TestScrapeDuringEngineClose(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewFlightRecorder(64)
+	s := New(reg, rec)
+	engines := make([]*core.Engine, 4)
+	for i := range engines {
+		engines[i] = driveEngine(t, reg, rec)
+		s.Attach(engines[i])
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/sites", "/sites/diag/switchy/explain", "/events", "/metrics"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Errorf("GET %s during close: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+						t.Errorf("GET %s during close = %d", path, resp.StatusCode)
+					}
+				}
+			}
+		}()
+	}
+	for _, e := range engines {
+		e.Close()
+	}
+	close(stop)
+	wg.Wait()
+
+	// After every engine closed, the surface still serves the final state,
+	// flagged as such.
+	var got struct {
+		Count int `json:"count"`
+		Sites []struct {
+			Closed bool `json:"closed"`
+		} `json:"sites"`
+	}
+	getJSON(t, ts.URL+"/sites", &got)
+	if got.Count == 0 {
+		t.Fatal("closed engines lost their site snapshots")
+	}
+	for _, site := range got.Sites {
+		if !site.Closed {
+			t.Error("site row from a closed engine not marked closed")
+		}
 	}
 }
 

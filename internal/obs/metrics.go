@@ -177,6 +177,10 @@ type Registry struct {
 
 	mu          sync.Mutex
 	transitions map[TransitionKey]int64
+	// externals holds application-registered scalar metrics
+	// (RegisterExternal): an embedding service renders its domain counters
+	// through the same exposition endpoint as the framework's.
+	externals []externalMetric
 	// events counts emitted framework events by kind (fed by CountingSink).
 	events map[Kind]int64
 	// gcPauseBounds/gcPauseCounts are the latest runtime/metrics GC pause
@@ -292,6 +296,64 @@ func (r *Registry) TransitionsTotal() int64 {
 	return total
 }
 
+// externalMetric is one application-registered scalar: name and help are
+// fixed at registration, value is sampled at render time.
+type externalMetric struct {
+	name, help string
+	counter    bool
+	value      func() float64
+}
+
+// RegisterExternal adds an application-owned scalar metric to the registry's
+// exposition: value is sampled on every WriteTo (and expvar snapshot) and
+// rendered as a counter (counter=true) or gauge. Names must be unique and
+// non-empty with a non-nil value function; violations return false and leave
+// the registry unchanged. This lets a service built on the framework (e.g.
+// cmd/collserve) publish request counters beside the selection metrics
+// without running a second metrics endpoint.
+func (r *Registry) RegisterExternal(name, help string, counter bool, value func() float64) bool {
+	if name == "" || value == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.externals {
+		if m.name == name {
+			return false
+		}
+	}
+	r.externals = append(r.externals, externalMetric{name: name, help: help, counter: counter, value: value})
+	sort.Slice(r.externals, func(i, j int) bool { return r.externals[i].name < r.externals[j].name })
+	return true
+}
+
+// externalRows samples every registered external metric (already sorted by
+// name, so the exposition stays deterministic).
+func (r *Registry) externalRows() []struct {
+	name, help string
+	counter    bool
+	value      float64
+} {
+	r.mu.Lock()
+	metrics := append([]externalMetric(nil), r.externals...)
+	r.mu.Unlock()
+	rows := make([]struct {
+		name, help string
+		counter    bool
+		value      float64
+	}, len(metrics))
+	// Sampled outside the lock: value functions may take application locks
+	// of their own, and must never deadlock against IncTransition et al.
+	for i, m := range metrics {
+		rows[i] = struct {
+			name, help string
+			counter    bool
+			value      float64
+		}{m.name, m.help, m.counter, m.value()}
+	}
+	return rows
+}
+
 // counterRows lists the scalar metrics in render order.
 func (r *Registry) counterRows() []struct {
 	name, help string
@@ -380,6 +442,15 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	for _, row := range r.gaugeRows() {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
 			row.name, row.help, row.name, row.name, row.value)
+	}
+
+	for _, row := range r.externalRows() {
+		typ := "gauge"
+		if row.counter {
+			typ = "counter"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			row.name, row.help, row.name, typ, row.name, row.value)
 	}
 
 	fmt.Fprintf(&b, "# HELP collectionswitch_transitions_total variant switches by context\n")
@@ -482,6 +553,9 @@ func (r *Registry) snapshot() map[string]any {
 	}
 	for _, row := range r.gaugeRows() {
 		out[strings.TrimPrefix(row.name, "collectionswitch_")] = row.value
+	}
+	for _, row := range r.externalRows() {
+		out[row.name] = row.value
 	}
 	transitions := make(map[string]int64)
 	for k, v := range r.TransitionCounts() {

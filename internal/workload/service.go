@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// This file defines the op space of the collection-aware traffic service
+// (internal/service, cmd/collserve) and the phase schedules the saturation
+// harness (cmd/collload) drives it with. The load generator and the
+// end-to-end tests share these definitions, so "a scan-heavy phase" means
+// the same operation mix everywhere it is measured.
+
+// ServiceOp enumerates the request types of the traffic service.
+type ServiceOp int
+
+const (
+	// OpSetAdd / OpSetHas target the keyed-set store (membership sets).
+	OpSetAdd ServiceOp = iota
+	OpSetHas
+	// OpKVPut / OpKVGet target the int→int map store (point lookups).
+	OpKVPut
+	OpKVGet
+	// OpRangeAdd / OpRangeScan target the sorted-range store (ordered
+	// scans) — the op pair where variant choice matters most: sorted
+	// variants answer scans by Range, hash variants by full iteration.
+	OpRangeAdd
+	OpRangeScan
+
+	// NumServiceOps is the size of the op space (for weight tables).
+	NumServiceOps
+)
+
+// String returns the wire name of the op (also used in summaries).
+func (op ServiceOp) String() string {
+	switch op {
+	case OpSetAdd:
+		return "set_add"
+	case OpSetHas:
+		return "set_has"
+	case OpKVPut:
+		return "kv_put"
+	case OpKVGet:
+		return "kv_get"
+	case OpRangeAdd:
+		return "range_add"
+	case OpRangeScan:
+		return "range_scan"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// ServiceMix is a weighted distribution over service ops.
+type ServiceMix struct {
+	Weights [NumServiceOps]int
+}
+
+// Pick draws one op according to the weights (uniform over ops with all
+// weights zero, so a zero mix still generates traffic).
+func (m ServiceMix) Pick(r *rand.Rand) ServiceOp {
+	total := 0
+	for _, w := range m.Weights {
+		total += w
+	}
+	if total <= 0 {
+		return ServiceOp(r.Intn(int(NumServiceOps)))
+	}
+	n := r.Intn(total)
+	for op, w := range m.Weights {
+		if n < w {
+			return ServiceOp(op)
+		}
+		n -= w
+	}
+	return OpSetHas
+}
+
+// Named phase mixes. Every phase keeps a trickle of writes into the range
+// store: new collection instances are what adopt a switched variant, so a
+// phase with zero creations would freeze selection rather than exercise it.
+var serviceMixes = map[string]ServiceMix{
+	// read: point lookups dominate; collections mostly just get probed.
+	"read": {Weights: [NumServiceOps]int{
+		OpSetAdd: 5, OpSetHas: 35, OpKVPut: 5, OpKVGet: 40, OpRangeAdd: 5, OpRangeScan: 10,
+	}},
+	// write: population dominates — insert-heavy instances, where hash
+	// variants beat sorted-array's O(n) shifting inserts.
+	"write": {Weights: [NumServiceOps]int{
+		OpSetAdd: 30, OpSetHas: 5, OpKVPut: 30, OpKVGet: 5, OpRangeAdd: 28, OpRangeScan: 2,
+	}},
+	// scan: ordered range queries dominate — where sorted variants answer
+	// in O(log n + k) against a hash variant's full O(n) iteration.
+	"scan": {Weights: [NumServiceOps]int{
+		OpSetAdd: 3, OpSetHas: 7, OpKVPut: 3, OpKVGet: 7, OpRangeAdd: 15, OpRangeScan: 65,
+	}},
+	// mixed: the per-site clincher — write-hot on the sets/kv stores while
+	// simultaneously scan-hot on the range store. No single global variant
+	// fits this phase (hash loses the scans, sorted loses the inserts);
+	// per-site selection picks both winners at once.
+	"mixed": {Weights: [NumServiceOps]int{
+		OpSetAdd: 22, OpSetHas: 5, OpKVPut: 20, OpKVGet: 5, OpRangeAdd: 13, OpRangeScan: 35,
+	}},
+}
+
+// MixByName returns a named mix (read, write, scan, mixed).
+func MixByName(name string) (ServiceMix, bool) {
+	m, ok := serviceMixes[strings.ToLower(strings.TrimSpace(name))]
+	return m, ok
+}
+
+// MixNames lists the known mix names (unordered).
+func MixNames() []string {
+	names := make([]string, 0, len(serviceMixes))
+	for n := range serviceMixes {
+		names = append(names, n)
+	}
+	return names
+}
+
+// ServicePhase is one timed segment of a load run.
+type ServicePhase struct {
+	Name     string
+	Duration time.Duration
+	Mix      ServiceMix
+}
+
+// ParseServicePhases parses a phase schedule of the form
+// "write:5s,read:5s,scan:5s" — comma-separated name:duration pairs where
+// every name is a known mix and every duration is positive.
+func ParseServicePhases(spec string) ([]ServicePhase, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("empty phase spec")
+	}
+	var phases []ServicePhase
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, durStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("phase %q: want name:duration", part)
+		}
+		mix, ok := MixByName(name)
+		if !ok {
+			return nil, fmt.Errorf("phase %q: unknown mix %q (have %s)",
+				part, name, strings.Join(MixNames(), ", "))
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(durStr))
+		if err != nil {
+			return nil, fmt.Errorf("phase %q: %v", part, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("phase %q: duration must be positive", part)
+		}
+		phases = append(phases, ServicePhase{Name: strings.ToLower(strings.TrimSpace(name)), Duration: d, Mix: mix})
+	}
+	return phases, nil
+}

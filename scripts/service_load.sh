@@ -1,0 +1,65 @@
+#!/bin/sh
+# service_load.sh — the committed saturation experiment behind
+# results/service_load_*.txt.
+#
+# Runs one adaptive collserve instance and one per fixed variant through an
+# identical collload phase schedule (write-heavy -> scan-heavy -> mixed), so
+# the per-phase p50/p99 lines are directly comparable. The "mixed" phase is
+# the heterogeneous clincher: write-hot sets/kv plus scan-hot sorted ranges
+# at the same time, which no single global variant serves well.
+#
+# Usage: scripts/service_load.sh [outdir] [mode ...]
+#   outdir defaults to results/, modes default to "adaptive hash openhash
+#   array sortedarray avltree skiplist".
+set -eu
+
+OUTDIR=${1:-results}
+shift 2>/dev/null || true
+MODES=${*:-"adaptive hash openhash array sortedarray avltree skiplist"}
+
+ADDR=127.0.0.1:8377
+PHASES="write:8s,scan:8s,mixed:10s"
+SERVE_FLAGS="-addr $ADDR -window 8 -rate 250ms -cooldown 0 -maxkeys 1 -drain 10s"
+# Heterogeneous sizing is deliberate: the few set keys grow large (where
+# quadratic sorted inserts and linear array lookups hurt), while range
+# series stay moderate (-rseries/-rspan/-raddburst), the regime where the
+# cost model favours sorted variants and scans answer via Range instead of
+# full iteration. -maxkeys 1 keeps FIFO eviction brisk so monitoring windows
+# keep closing (finished-ratio gate) and the engine can re-select live.
+LOAD_FLAGS="-addr $ADDR -phases $PHASES -conc 8 -series 4 -rseries 12 \
+  -span 1000000 -rspan 40000 -scanwidth 1000 -kvspan 65536 -rotate 3s \
+  -addburst 64 -raddburst 16 -scanburst 16 -seed 1"
+
+mkdir -p "$OUTDIR"
+go build -o /tmp/collserve ./cmd/collserve
+go build -o /tmp/collload ./cmd/collload
+
+for MODE in $MODES; do
+  OUT="$OUTDIR/service_load_$MODE.txt"
+  FIXED=""
+  [ "$MODE" != adaptive ] && FIXED="-fixed $MODE"
+  {
+    echo "# collserve saturation run — mode=$MODE"
+    echo "# date: $(date -u +%Y-%m-%dT%H:%M:%SZ)  go: $(go version | cut -d' ' -f3)  cpus: $(nproc)"
+    echo "# server: collserve $SERVE_FLAGS $FIXED"
+    echo "# load:   collload $(echo $LOAD_FLAGS)"
+    echo
+  } >"$OUT"
+
+  /tmp/collserve $SERVE_FLAGS $FIXED >"$OUT.server" 2>&1 &
+  SRV=$!
+  /tmp/collload $LOAD_FLAGS >>"$OUT" 2>&1 || {
+    echo "collload failed for $MODE" >&2
+    kill "$SRV" 2>/dev/null || true
+    exit 1
+  }
+  kill -TERM "$SRV"
+  wait "$SRV" || { echo "collserve exited non-zero for $MODE" >&2; exit 1; }
+  {
+    echo
+    echo "# --- server log ---"
+    cat "$OUT.server"
+  } >>"$OUT"
+  rm -f "$OUT.server"
+  echo "done: $OUT"
+done
