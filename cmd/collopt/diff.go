@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// unifiedDiff renders a unified diff (3 context lines) between a and b,
+// labeled aName/bName. Empty when the inputs are equal. The implementation
+// is a plain dynamic-programming LCS — the rewritten files the tool diffs
+// are single source files, far below any size where that matters.
+func unifiedDiff(aName, bName string, a, b []byte) string {
+	al := splitLines(a)
+	bl := splitLines(b)
+	if len(al) == len(bl) {
+		equal := true
+		for i := range al {
+			if al[i] != bl[i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return ""
+		}
+	}
+
+	// LCS table.
+	n, m := len(al), len(bl)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	// Walk the table into an edit script.
+	type edit struct {
+		op   byte // ' ', '-', '+'
+		text string
+	}
+	var edits []edit
+	for i, j := 0, 0; i < n || j < m; {
+		switch {
+		case i < n && j < m && al[i] == bl[j]:
+			edits = append(edits, edit{' ', al[i]})
+			i++
+			j++
+		case i < n && (j == m || lcs[i+1][j] >= lcs[i][j+1]):
+			edits = append(edits, edit{'-', al[i]})
+			i++
+		default:
+			edits = append(edits, edit{'+', bl[j]})
+			j++
+		}
+	}
+
+	// Group into hunks with up to 3 context lines on each side.
+	const ctx = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", aName, bName)
+	aLine, bLine := 1, 1
+	i := 0
+	for i < len(edits) {
+		// Skip to the next change.
+		for i < len(edits) && edits[i].op == ' ' {
+			aLine++
+			bLine++
+			i++
+		}
+		if i == len(edits) {
+			break
+		}
+		// Hunk start: back up over context.
+		start := i
+		lead := 0
+		for start > 0 && lead < ctx && edits[start-1].op == ' ' {
+			start--
+			lead++
+		}
+		hunkA, hunkB := aLine-lead, bLine-lead
+		// Extend through changes, absorbing gaps of <= 2*ctx context lines.
+		end := i
+		for j := i; j < len(edits); {
+			if edits[j].op != ' ' {
+				end = j + 1
+				j++
+				continue
+			}
+			gap := 0
+			for j+gap < len(edits) && edits[j+gap].op == ' ' {
+				gap++
+			}
+			if j+gap == len(edits) || gap > 2*ctx {
+				break
+			}
+			j += gap
+		}
+		// Trailing context.
+		stop := end
+		for trail := 0; stop < len(edits) && trail < ctx && edits[stop].op == ' '; trail++ {
+			stop++
+		}
+		var aCount, bCount int
+		var body strings.Builder
+		for _, e := range edits[start:stop] {
+			body.WriteByte(e.op)
+			body.WriteString(e.text)
+			body.WriteByte('\n')
+			switch e.op {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n%s", hunkA, aCount, hunkB, bCount, body.String())
+		// Advance line counters over the consumed edits.
+		for _, e := range edits[i:stop] {
+			switch e.op {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		i = stop
+	}
+	return sb.String()
+}
+
+func splitLines(b []byte) []string {
+	s := string(b)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

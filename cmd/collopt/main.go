@@ -1,0 +1,518 @@
+// Command collopt is the offline profile-guided optimizer (the ROADMAP's
+// collectionswitch-opt): it combines a tuner calibration store's workload
+// profiles with the cost-model curves, searches the space of per-site
+// variant assignments for the Pareto front over the requested objectives
+// (internal/search, NSGA-II-lite), and emits reviewable Go patches pinning
+// each allocation site to its chosen static variant (internal/rewrite,
+// pinned mode).
+//
+// Usage:
+//
+//	collopt -store DIR -src ./... -objective time,mem
+//
+// By default the tool prints the Pareto front (table + JSON) and the chosen
+// assignment's patches as unified diffs. -w applies the patches in place;
+// -o DIR writes the rewritten files into a mirror tree instead. -pick N
+// overrides the automatic knee-point choice with front member N.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/collections"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
+	"repro/internal/rewrite"
+	"repro/internal/search"
+	"repro/internal/tuner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collopt:", err)
+		os.Exit(1)
+	}
+}
+
+type srcList []string
+
+func (s *srcList) String() string     { return strings.Join(*s, ",") }
+func (s *srcList) Set(v string) error { *s = append(*s, v); return nil }
+
+func run() error {
+	var srcs srcList
+	storeDir := flag.String("store", "", "tuner store directory (or store file) supplying workload profiles")
+	flag.Var(&srcs, "src", "source file, directory, or dir/... to scan for allocation sites (repeatable)")
+	objective := flag.String("objective", "time,mem", "comma-separated search objectives: time, mem, alloc, energy")
+	seed := flag.Int64("seed", 1, "search random seed")
+	pop := flag.Int("pop", 64, "search population size")
+	gens := flag.Int("gens", 120, "search generations")
+	pick := flag.Int("pick", -1, "front member to emit patches for (-1 = automatic knee point)")
+	top := flag.Int("top", 0, "limit the printed front table to the first N rows (0 = all)")
+	write := flag.Bool("w", false, "apply patches in place")
+	outDir := flag.String("o", "", "write rewritten files into this directory instead of diffing")
+	jsonOut := flag.String("json", "", "also write the search result JSON to this file")
+	events := flag.String("events", "", "write framework events (JSONL) to this file")
+	quiet := flag.Bool("q", false, "suppress event loglines on stderr")
+	flag.Parse()
+	srcs = append(srcs, flag.Args()...)
+
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if len(srcs) == 0 {
+		return fmt.Errorf("no sources: pass -src FILE|DIR|DIR/...")
+	}
+	objs, err := search.ParseObjectives(*objective)
+	if err != nil {
+		return err
+	}
+
+	// ---- sinks ---------------------------------------------------------
+	var sinks []obs.Sink
+	if !*quiet {
+		sinks = append(sinks, obs.NewLogfSink(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "collopt: "+format+"\n", args...)
+		}))
+	}
+	var jsonl *obs.JSONLSink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return fmt.Errorf("creating events file: %w", err)
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONLSink(f)
+		defer jsonl.Flush()
+		sinks = append(sinks, jsonl)
+	}
+	sink := obs.Multi(sinks...)
+	emit := func(e obs.Event) {
+		if sink != nil {
+			sink.Emit(e)
+		}
+	}
+
+	// ---- store ---------------------------------------------------------
+	store, err := tuner.ReadStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if !store.FingerprintMatches {
+		fmt.Fprintf(os.Stderr, "collopt: warning: store %s was measured on another machine (fingerprint mismatch); its profiles still drive the search but its model curves may not transfer\n", store.Path)
+	}
+
+	// Models: analytic defaults, refined curves overlaid when present.
+	models := perfmodel.Default()
+	if store.Models != nil {
+		models = models.Clone()
+		models.Merge(store.Models)
+	}
+
+	// ---- scan sources --------------------------------------------------
+	files, err := resolveSources(srcs)
+	if err != nil {
+		return err
+	}
+	rw := rewrite.NewRewriter()
+	type scanned struct {
+		path  string
+		src   []byte
+		sites []rewrite.Site
+	}
+	var scans []scanned
+	var sites []rewrite.Site
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		res, err := rw.Scan(src, path)
+		if err != nil {
+			return err
+		}
+		for _, sk := range res.Skipped {
+			fmt.Fprintf(os.Stderr, "collopt: skipped %s:%d: %s — %s\n", sk.File, sk.Line, sk.Call, sk.Reason)
+		}
+		if len(res.Sites) > 0 {
+			scans = append(scans, scanned{path: path, src: src, sites: res.Sites})
+			sites = append(sites, res.Sites...)
+		}
+	}
+	if len(sites) == 0 {
+		return fmt.Errorf("no recognizable allocation sites under %v", []string(srcs))
+	}
+
+	// ---- assemble the search problem -----------------------------------
+	problem := search.Problem{Models: models, Objectives: objs}
+	seedAssign := make([]collections.VariantID, len(sites))
+	matched := 0
+	for i, s := range sites {
+		prof, storeVariant, ok := matchProfile(s, store.Sites)
+		if ok {
+			matched++
+		} else {
+			fmt.Fprintf(os.Stderr, "collopt: warning: no store profile for %s; using an abstraction-average profile\n", s.Name())
+		}
+		problem.Sites = append(problem.Sites, search.Site{
+			Name:        s.Name(),
+			Abstraction: s.Kind,
+			Baseline:    s.Variant,
+			Candidates:  candidatePool(s.Kind, s.Variant),
+			Profile:     prof,
+		})
+		seedAssign[i] = s.Variant
+		if storeVariant != "" {
+			seedAssign[i] = storeVariant
+		}
+	}
+
+	objNames := make([]string, len(objs))
+	for i, o := range objs {
+		objNames[i] = string(o)
+	}
+	emit(obs.SearchStarted{Store: store.Path, Sites: len(sites), Objectives: objNames, Seed: *seed})
+
+	res, err := search.Run(problem, search.Config{
+		Seed:        *seed,
+		Population:  *pop,
+		Generations: *gens,
+		Seeds:       [][]collections.VariantID{seedAssign},
+	})
+	if err != nil {
+		return err
+	}
+	dominating := 0
+	for _, a := range res.Front {
+		if n, noWorse := search.BetterCount(a.Costs, res.Baseline.Costs); noWorse && n >= 2 {
+			dominating++
+		}
+	}
+	emit(obs.SearchFront{
+		Sites: len(sites), FrontSize: len(res.Front),
+		Evaluations: res.Evaluations, DominatingBaseline: dominating,
+	})
+
+	// ---- report --------------------------------------------------------
+	chosen := *pick
+	if chosen < 0 {
+		chosen = chooseKnee(res)
+	}
+	if chosen < 0 || chosen >= len(res.Front) {
+		return fmt.Errorf("-pick %d out of range (front has %d members)", chosen, len(res.Front))
+	}
+	printFront(os.Stdout, res, problem, chosen, *top)
+	if err := printJSON(os.Stdout, *jsonOut, res, chosen); err != nil {
+		return err
+	}
+
+	// ---- emit patches --------------------------------------------------
+	assignment := res.Front[chosen]
+	byName := make(map[string]collections.VariantID, len(assignment.Variants))
+	for i, v := range assignment.Variants {
+		byName[problem.Sites[i].Name] = v
+	}
+	pinned := 0
+	for _, sc := range scans {
+		pin := func(s rewrite.Site) (collections.VariantID, bool) {
+			v, ok := byName[s.Name()]
+			if !ok || v == s.Variant {
+				return "", false // unknown or already the chosen variant
+			}
+			return v, true
+		}
+		out, rres, err := rw.Rewrite(sc.src, sc.path, rewrite.Config{Pin: pin})
+		if err != nil {
+			return err
+		}
+		if len(rres.Sites) == 0 {
+			continue
+		}
+		pinned += len(rres.Sites)
+		dest, err := writePatch(sc.path, sc.src, out, *write, *outDir)
+		if err != nil {
+			return err
+		}
+		emit(obs.PatchEmitted{File: sc.path, Pinned: len(rres.Sites), Output: dest})
+	}
+	if pinned == 0 {
+		fmt.Fprintln(os.Stderr, "collopt: chosen assignment matches every site's current constructor; no patch needed")
+	}
+	fmt.Fprintf(os.Stderr, "collopt: %d sites (%d profiled from store), front %d, chose #%d, pinned %d\n",
+		len(sites), matched, len(res.Front), chosen, pinned)
+	return nil
+}
+
+// resolveSources expands file, dir and dir/... arguments into a sorted list
+// of non-test .go files.
+func resolveSources(srcs []string) ([]string, error) {
+	seen := map[string]bool{}
+	var files []string
+	addFile := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			files = append(files, path)
+		}
+	}
+	for _, arg := range srcs {
+		arg = strings.TrimSuffix(arg, "/...")
+		if arg == "" || arg == "." {
+			arg = "."
+		}
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			addFile(arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				addFile(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// candidatePool returns the default candidate variants of one abstraction in
+// catalog order, with the site's baseline appended if it is not already a
+// default candidate.
+func candidatePool(kind collections.Abstraction, baseline collections.VariantID) []collections.VariantID {
+	var out []collections.VariantID
+	hasBaseline := false
+	for _, e := range collections.Entries() {
+		if e.Info.Abstraction != kind || !e.DefaultCandidate {
+			continue
+		}
+		out = append(out, e.Info.ID)
+		if e.Info.ID == baseline {
+			hasBaseline = true
+		}
+	}
+	if !hasBaseline {
+		out = append(out, baseline)
+	}
+	return out
+}
+
+// matchProfile finds the store profile for a scanned site: exact context-name
+// match first, then a path-suffix match (store names are relative to where
+// the profiled binary ran, scan names to where collopt runs), then an
+// average over the store's sites of the same abstraction.
+func matchProfile(s rewrite.Site, stored []core.SiteSnapshot) (core.WorkloadProfile, collections.VariantID, bool) {
+	name := s.Name()
+	for _, st := range stored {
+		if st.Name == name {
+			return st.Profile, st.Variant, true
+		}
+	}
+	file, line := splitSiteName(name)
+	for _, st := range stored {
+		sf, sl := splitSiteName(st.Name)
+		if sl != line || sl == 0 {
+			continue
+		}
+		if pathSuffix(file, sf) || pathSuffix(sf, file) {
+			return st.Profile, st.Variant, true
+		}
+	}
+	// Abstraction average: better than a made-up shape, still a warning.
+	var agg core.WorkloadProfile
+	n := 0
+	for _, st := range stored {
+		if st.Abstraction != string(s.Kind) {
+			continue
+		}
+		p := st.Profile
+		agg.Adds += p.Adds
+		agg.Contains += p.Contains
+		agg.Iterates += p.Iterates
+		agg.Middles += p.Middles
+		agg.Instances += p.Instances
+		agg.MeanSize += p.MeanSize
+		if p.MaxSize > agg.MaxSize {
+			agg.MaxSize = p.MaxSize
+		}
+		n++
+	}
+	if n > 0 {
+		agg.MeanSize /= float64(n)
+		return agg, "", false
+	}
+	// Nothing of this abstraction in the store: a small generic workload.
+	return core.WorkloadProfile{
+		Adds: 100, Contains: 100, Iterates: 10, Middles: 1,
+		Instances: 1, MeanSize: 50, MaxSize: 100,
+	}, "", false
+}
+
+// splitSiteName splits "path/to/file.go:12" into path and line.
+func splitSiteName(name string) (string, int) {
+	i := strings.LastIndex(name, ":")
+	if i < 0 {
+		return name, 0
+	}
+	line, err := strconv.Atoi(strings.TrimSuffix(name[i+1:], "#1"))
+	if err != nil {
+		return name[:i], 0
+	}
+	return name[:i], line
+}
+
+// pathSuffix reports whether short is a path suffix of long ("a/b.go" of
+// "x/a/b.go", or the two equal).
+func pathSuffix(long, short string) bool {
+	if long == short {
+		return true
+	}
+	return strings.HasSuffix(long, "/"+short)
+}
+
+// chooseKnee picks the front member to patch with: among the members that
+// weakly dominate the baseline on the most objectives, the one minimizing
+// the Euclidean norm of baseline-relative costs (cost_k / baseline_k) — the
+// most balanced improvement over the all-defaults assignment, rather than an
+// extreme of either axis. Deterministic: ties break to the lower index.
+func chooseKnee(res search.Result) int {
+	if len(res.Front) == 0 {
+		return -1
+	}
+	// Prefer members that dominate the baseline on as many objectives as
+	// possible; degrade gracefully down to "no worse anywhere", then anyone.
+	eligible := make([]int, 0, len(res.Front))
+	for want := len(res.Baseline.Costs); want >= 0 && len(eligible) == 0; want-- {
+		for i, a := range res.Front {
+			n, noWorse := search.BetterCount(a.Costs, res.Baseline.Costs)
+			if noWorse && n >= want {
+				eligible = append(eligible, i)
+			}
+		}
+	}
+	if len(eligible) == 0 {
+		for i := range res.Front {
+			eligible = append(eligible, i)
+		}
+	}
+	nObj := len(res.Objectives)
+	best, bestDist := eligible[0], math.Inf(1)
+	for _, i := range eligible {
+		d := 0.0
+		for k := 0; k < nObj; k++ {
+			if base := res.Baseline.Costs[k]; base > 0 {
+				x := res.Front[i].Costs[k] / base
+				d += x * x
+			}
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// printFront renders the Pareto front as a table.
+func printFront(w *os.File, res search.Result, p search.Problem, chosen, top int) {
+	fmt.Fprintf(w, "Pareto front: %d assignments over %d sites (objectives: %v)\n\n", len(res.Front), len(p.Sites), res.Objectives)
+	fmt.Fprintf(w, "  %-4s", "#")
+	for _, o := range res.Objectives {
+		fmt.Fprintf(w, " %-14s", o)
+	}
+	fmt.Fprintf(w, " assignment (site=variant where != baseline)\n")
+	row := func(label string, a search.Assignment, mark string) {
+		fmt.Fprintf(w, "  %-4s", label)
+		for k := range res.Objectives {
+			fmt.Fprintf(w, " %-14.4g", a.Costs[k])
+		}
+		var diffs []string
+		for i, v := range a.Variants {
+			if v != p.Sites[i].Baseline {
+				diffs = append(diffs, fmt.Sprintf("%s=%s", p.Sites[i].Name, v))
+			}
+		}
+		if len(diffs) == 0 {
+			diffs = []string{"(all baseline)"}
+		}
+		fmt.Fprintf(w, " %s%s\n", strings.Join(diffs, " "), mark)
+	}
+	row("base", res.Baseline, "")
+	for i, a := range res.Front {
+		if top > 0 && i >= top {
+			fmt.Fprintf(w, "  ... %d more\n", len(res.Front)-top)
+			break
+		}
+		mark := ""
+		if i == chosen {
+			mark = "   <- chosen"
+		}
+		row(fmt.Sprint(i), a, mark)
+	}
+	fmt.Fprintln(w)
+}
+
+// printJSON writes the machine-readable result to stdout and optionally to a
+// file.
+func printJSON(w *os.File, path string, res search.Result, chosen int) error {
+	doc := struct {
+		search.Result
+		Chosen int `json:"chosen"`
+	}{res, chosen}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	if path != "" {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("writing -json file: %w", err)
+		}
+	}
+	return nil
+}
+
+// writePatch delivers one rewritten file: in place (-w), into an output tree
+// (-o), or as a unified diff on stdout. It returns a description of where
+// the patch went.
+func writePatch(path string, src, out []byte, inPlace bool, outDir string) (string, error) {
+	switch {
+	case inPlace:
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return "", err
+		}
+		return path + " (in place)", nil
+	case outDir != "":
+		dest := filepath.Join(outDir, path)
+		if err := os.MkdirAll(filepath.Dir(dest), 0o755); err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(dest, out, 0o644); err != nil {
+			return "", err
+		}
+		return dest, nil
+	default:
+		fmt.Print(unifiedDiff("a/"+path, "b/"+path, src, out))
+		return "stdout (unified diff)", nil
+	}
+}

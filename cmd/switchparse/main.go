@@ -1,13 +1,21 @@
 // Command switchparse is the automated parser of Section 4.3: it rewrites
 // collection allocation sites that use the default constructors
 // (collections.NewArrayList / NewHashSet / NewHashMap) into static adaptive
-// allocation contexts, as Figure 4 illustrates.
+// allocation contexts, as Figure 4 illustrates. With -all it extends the
+// rewrite to every zero-argument catalog constructor, keeping each site's
+// current variant as the context default.
 //
 // Usage:
 //
 //	switchparse file.go            # print the rewritten file to stdout
 //	switchparse -w file.go dir/    # rewrite files in place
 //	switchparse -list dir/         # only list the rewritable sites
+//	switchparse -all -w dir/       # rewrite all recognized constructors
+//
+// Rewriting is all-or-nothing per run: every file is parsed and rewritten in
+// memory first, and nothing is written back unless the whole set succeeded.
+// A failure anywhere exits nonzero with a summary of every failing file, and
+// leaves the tree exactly as it was.
 package main
 
 import (
@@ -24,17 +32,24 @@ import (
 func main() {
 	write := flag.Bool("w", false, "rewrite files in place instead of printing")
 	list := flag.Bool("list", false, "only list rewritable allocation sites")
+	all := flag.Bool("all", false, "rewrite every recognized catalog constructor, not only the JDK defaults")
+	verbose := flag.Bool("v", false, "also report skipped constructor calls with reasons")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: switchparse [-w | -list] <files or dirs>")
+		fmt.Fprintln(os.Stderr, "usage: switchparse [-w | -list] [-all] [-v] <files or dirs>")
 		os.Exit(2)
 	}
 
 	var files []string
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
 	for _, arg := range flag.Args() {
 		info, err := os.Stat(arg)
 		if err != nil {
-			fatal(err)
+			fail("%v", err)
+			continue
 		}
 		if !info.IsDir() {
 			files = append(files, arg)
@@ -50,48 +65,93 @@ func main() {
 			return nil
 		})
 		if err != nil {
-			fatal(err)
+			fail("walking %s: %v", arg, err)
 		}
 	}
 
-	total := 0
+	// One rewriter per run: the catalog snapshot is consulted once, not per
+	// file or site.
+	rw := rewrite.NewRewriter()
+	cfg := rewrite.Config{DefaultsOnly: !*all}
+
+	// Phase 1: parse and rewrite everything in memory. No file is touched
+	// until the whole set is known good.
+	type rewritten struct {
+		path  string
+		out   []byte
+		sites []rewrite.Site
+	}
+	var results []rewritten
+	totalSites, totalSkipped := 0, 0
 	for _, path := range files {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			fail("%v", err)
+			continue
 		}
 		if *list {
-			sites, err := rewrite.ScanFile(src, path)
+			res, err := rw.Scan(src, path)
 			if err != nil {
-				fatal(err)
+				fail("%v", err)
+				continue
 			}
-			for _, s := range sites {
-				fmt.Printf("%s:%d:%d: %s (%s[%s])\n", s.File, s.Line, s.Col, s.Original, s.Kind, s.TypeArgs)
+			for _, s := range res.Sites {
+				fmt.Printf("%s:%d:%d: %s (%s[%s] -> %s)\n", s.File, s.Line, s.Col, s.Original, s.Kind, s.TypeArgs, s.Variant)
 			}
-			total += len(sites)
+			totalSites += len(res.Sites)
+			totalSkipped += len(res.Skipped)
+			reportSkipped(res.Skipped, *verbose || *list)
 			continue
 		}
-		out, sites, err := rewrite.RewriteFile(src, path)
+		out, res, err := rw.Rewrite(src, path, cfg)
 		if err != nil {
-			fatal(err)
-		}
-		if len(sites) == 0 {
+			fail("%v", err)
 			continue
 		}
-		total += len(sites)
+		totalSkipped += len(res.Skipped)
+		reportSkipped(res.Skipped, *verbose)
+		if len(res.Sites) == 0 {
+			continue
+		}
+		totalSites += len(res.Sites)
+		results = append(results, rewritten{path: path, out: out, sites: res.Sites})
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "switchparse: %d failure(s), nothing written:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+
+	// Phase 2: the whole set parsed and rewrote cleanly — now write.
+	for _, r := range results {
 		if *write {
-			if err := os.WriteFile(path, out, 0o644); err != nil {
-				fatal(err)
+			if err := os.WriteFile(r.path, r.out, 0o644); err != nil {
+				fail("%v", err)
+				continue
 			}
-			fmt.Fprintf(os.Stderr, "rewrote %d sites in %s\n", len(sites), path)
+			fmt.Fprintf(os.Stderr, "rewrote %d sites in %s\n", len(r.sites), r.path)
 		} else {
-			os.Stdout.Write(out)
+			os.Stdout.Write(r.out)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%d allocation sites total\n", total)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "switchparse: %d write failure(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%d allocation sites total (%d skipped)\n", totalSites, totalSkipped)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "switchparse:", err)
-	os.Exit(1)
+func reportSkipped(skipped []rewrite.SkippedSite, show bool) {
+	if !show {
+		return
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "skipped %s:%d:%d: %s — %s\n", s.File, s.Line, s.Col, s.Call, s.Reason)
+	}
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rewrite"
+	"repro/internal/tuner"
+)
+
+//go:embed workload.go
+var workloadSrc []byte
+
+// runAdaptive profiles the demo workload under adaptive allocation contexts
+// and persists the observed site profiles plus refined cost models to
+// storeDir. Context names are derived by scanning the embedded workload.go
+// with the same scanner collopt runs over the source tree, so the persisted
+// profiles line up (by path suffix and line) with the sites the offline
+// search later optimizes.
+func runAdaptive(storeDir string, rounds int) error {
+	res, err := rewrite.NewRewriter().Scan(workloadSrc, "workload.go")
+	if err != nil {
+		return fmt.Errorf("scanning embedded workload: %w", err)
+	}
+	var listSite, setSite, mapSite *rewrite.Site
+	for i := range res.Sites {
+		s := &res.Sites[i]
+		switch s.Kind {
+		case "list":
+			listSite = s
+		case "set":
+			setSite = s
+		case "map":
+			mapSite = s
+		}
+	}
+	if listSite == nil || setSite == nil || mapSite == nil {
+		return fmt.Errorf("embedded workload.go: want one list, set and map site, got %d sites (already patched?)", len(res.Sites))
+	}
+
+	col := obs.NewCollector()
+	metrics := obs.NewRegistry()
+	store := tuner.Open(storeDir, col, metrics)
+	engine := core.NewEngineManual(core.Config{
+		WindowSize:      routeTables,
+		FinishedRatio:   0.6,
+		CooldownWindows: -1,
+		Name:            "optdemo",
+		Sink:            col,
+		Metrics:         metrics,
+		WarmStart:       store,
+	})
+	routes := core.NewListContext[int](engine, core.WithName(listSite.Name()))
+	tags := core.NewSetContext[int](engine, core.WithName(setSite.Name()))
+	headers := core.NewMapContext[int, int](engine, core.WithName(mapSite.Name()))
+
+	acc := 0
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < routeTables; i++ {
+			acc += routeOps(routes.NewList())
+		}
+		for i := 0; i < tagSets; i++ {
+			acc += tagOps(tags.NewSet())
+		}
+		for i := 0; i < headerTables; i++ {
+			acc += headerOps(headers.NewMap())
+		}
+		runtime.GC() // release the weak refs so instances finish
+		engine.AnalyzeNow()
+	}
+
+	// One calibration cycle: shadow-benchmark at the observed sizes, refine
+	// the models, persist models + site decisions. Budget 1 keeps the run
+	// deterministic in length.
+	tn := tuner.New(tuner.Config{Engine: engine, Store: store, Budget: 1, Sink: col, Metrics: metrics})
+	tn.RunOnce()
+	engine.Close()
+
+	for _, snap := range engine.SiteSnapshots() {
+		fmt.Printf("site %-16s %-4s on %-18s rounds=%d instances=%d mean_size=%.0f\n",
+			snap.Name, snap.Abstraction, snap.Variant, snap.Rounds, snap.Profile.Instances, snap.Profile.MeanSize)
+	}
+	fmt.Printf("RESULT mode=adaptive rounds=%d checksum=%d store=%s\n", rounds, acc, store.Path())
+	return nil
+}

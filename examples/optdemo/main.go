@@ -1,0 +1,66 @@
+// optdemo: the offline multi-objective pipeline end to end.
+//
+// The demo has two modes over one workload (three allocation sites: a
+// lookup-heavy route list, a lookup-heavy tag set, and many small header
+// maps):
+//
+//   - adaptive: run the workload under adaptive allocation contexts, then
+//     persist the observed site profiles and tuner-refined cost models to a
+//     warm-start store. This is collopt's input.
+//   - fixed: run the workload through whatever constructors workload.go
+//     carries — the plain JDK defaults as committed, or pinned static
+//     contexts after applying a collopt patch — and print wall time plus
+//     allocation, so before/after binaries can be compared.
+//
+// Full loop:
+//
+//	store=$(mktemp -d)
+//	go run ./examples/optdemo -mode adaptive -store "$store" -rounds 3
+//	go run ./cmd/collopt -store "$store" -src examples/optdemo -o patched
+//	go run ./examples/optdemo -mode fixed -rounds 50   # before
+//	# copy examples/optdemo into a scratch module, overlay the patched
+//	# workload.go, and run the same fixed command there  # after
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() {
+	mode := flag.String("mode", "fixed", "fixed | adaptive")
+	storeDir := flag.String("store", "", "warm-start store directory (adaptive mode)")
+	rounds := flag.Int("rounds", 50, "workload rounds")
+	flag.Parse()
+
+	switch *mode {
+	case "adaptive":
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "optdemo: -mode adaptive requires -store")
+			os.Exit(2)
+		}
+		if err := runAdaptive(*storeDir, *rounds); err != nil {
+			fmt.Fprintf(os.Stderr, "optdemo: %v\n", err)
+			os.Exit(1)
+		}
+	case "fixed":
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		acc := 0
+		for r := 0; r < *rounds; r++ {
+			acc += fixedRound()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		fmt.Printf("RESULT mode=fixed rounds=%d elapsed_ns=%d alloc_bytes=%d checksum=%d\n",
+			*rounds, elapsed.Nanoseconds(), after.TotalAlloc-before.TotalAlloc, acc)
+	default:
+		fmt.Fprintf(os.Stderr, "optdemo: unknown -mode %q (want fixed or adaptive)\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import "repro/internal/collections"
+
+// Workload shape. The three sites are tuned so the offline search has real
+// trade-offs to find against the analytic cost models:
+//
+//   - route table: one ~500-element list probed 500× per instance — the
+//     ArrayList default pays a linear scan per Contains, list/hasharray
+//     answers in O(1).
+//   - tag set: a ~200-element set probed 400× per instance — open
+//     addressing beats the chained default on both time and footprint.
+//   - header tables: many small (~12-entry) maps — a compact array map
+//     undercuts the hash default's per-entry footprint.
+const (
+	routeCount  = 200 // route entries per table
+	routeProbes = 500 // membership probes per table
+	routeTables = 8   // tables allocated per round
+
+	tagCount  = 200 // tags per set
+	tagProbes = 400 // membership probes per set
+	tagSets   = 8   // sets allocated per round
+
+	headerCount  = 12  // entries per header table
+	headerProbes = 24  // lookups per header table
+	headerTables = 300 // header tables allocated per round
+)
+
+// routeOps populates one route table and probes membership. The returned hit
+// count keeps the work observable.
+func routeOps(routes collections.List[int]) int {
+	for i := 0; i < routeCount; i++ {
+		routes.Add(i * 3)
+	}
+	hits := 0
+	for i := 0; i < routeProbes; i++ {
+		if routes.Contains((i * 7) % (routeCount * 3)) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// tagOps populates one tag set and probes membership.
+func tagOps(tags collections.Set[int]) int {
+	for i := 0; i < tagCount; i++ {
+		tags.Add(i * 5)
+	}
+	hits := 0
+	for i := 0; i < tagProbes; i++ {
+		if tags.Contains((i * 11) % (tagCount * 5)) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// headerOps fills one small header table and looks a few keys back up.
+func headerOps(hdr collections.Map[int, int]) int {
+	for i := 0; i < headerCount; i++ {
+		hdr.Put(i, i*2)
+	}
+	sum := 0
+	for i := 0; i < headerProbes; i++ {
+		if v, ok := hdr.Get(i % (headerCount + 2)); ok {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,30 @@
+package main
+
+import "repro/internal/collections"
+
+// The demo's three allocation sites, written against the JDK-default
+// constructors exactly as an unmodified application would be. This file is
+// what the offline pipeline operates on: `collopt -src examples/optdemo`
+// scans these constructors, searches the store's profiles for a better
+// per-site assignment, and emits a patch pinning each call below to the
+// variant it selected.
+
+// fixedRound runs one round of the demo workload through plain
+// default-variant collections (or, after a collopt patch, through pinned
+// static contexts).
+func fixedRound() int {
+	acc := 0
+	for i := 0; i < routeTables; i++ {
+		routes := collections.NewArrayList[int]()
+		acc += routeOps(routes)
+	}
+	for i := 0; i < tagSets; i++ {
+		tags := collections.NewHashSet[int]()
+		acc += tagOps(tags)
+	}
+	for i := 0; i < headerTables; i++ {
+		hdr := collections.NewHashMap[int, int]()
+		acc += headerOps(hdr)
+	}
+	return acc
+}

@@ -115,6 +115,12 @@ type Entry struct {
 	AdaptiveThreshold int64
 	// Analytic, when non-nil, supplies the variant's default cost model.
 	Analytic *AnalyticModel
+	// Constructor is the zero-argument constructor function in this package
+	// (or, for custom variants, the name registered via WithConstructor)
+	// that instantiates the variant — the hook the source-rewriting pipeline
+	// (internal/rewrite) uses to recognize allocation sites. Empty when the
+	// variant has no zero-arg constructor.
+	Constructor string
 
 	// factory is the typed factory of a registered variant —
 	// func(int) List[T] / Set[T] / Map[K,V] for the concrete type
@@ -449,6 +455,7 @@ func builtinCatalog() *catalogSnapshot {
 			Group:             group,
 			DefaultCandidate:  defaultCandidate,
 			AdaptiveThreshold: builtinAdaptiveThreshold(info.ID),
+			Constructor:       builtinConstructor(info.ID),
 			bench:             builtinBenchAdapter(info),
 		}
 		if m, ok := models[info.ID]; ok {

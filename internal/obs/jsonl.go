@@ -165,6 +165,9 @@ var kindDecoders = map[Kind]func(json.RawMessage) (Event, error){
 	KindStoreLoaded:          dec[StoreLoaded],
 	KindStoreRejected:        dec[StoreRejected],
 	KindSwitchSuppressed:     dec[SwitchSuppressed],
+	KindSearchStarted:        dec[SearchStarted],
+	KindSearchFront:          dec[SearchFront],
+	KindPatchEmitted:         dec[PatchEmitted],
 }
 
 // Kinds returns every registered event kind, sorted.

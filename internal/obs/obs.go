@@ -69,6 +69,9 @@ const (
 	KindStoreLoaded          Kind = "store_loaded"           // warm-start store read and accepted
 	KindStoreRejected        Kind = "store_rejected"         // warm-start store discarded by validation
 	KindSwitchSuppressed     Kind = "switch_suppressed"      // variant switch withheld: confidence intervals overlap
+	KindSearchStarted        Kind = "search_started"         // offline multi-objective search began (cmd/collopt)
+	KindSearchFront          Kind = "search_front"           // offline search produced a Pareto front
+	KindPatchEmitted         Kind = "patch_emitted"          // collopt wrote a variant-pinning source patch
 )
 
 // Event is one structured framework event. Concrete types are plain value
@@ -521,4 +524,55 @@ func (CheckDivergence) EngineName() string { return "" }
 func (e CheckDivergence) Logline() (string, []any) {
 	return "divergence in %s at op %d/%d (seed %d): %s",
 		[]any{e.Variant, e.OpIndex, e.Ops, e.Seed, e.Detail}
+}
+
+// SearchStarted reports the start of one offline multi-objective search
+// (cmd/collopt): the store the workload profiles came from, the allocation
+// sites under search, the objectives, and the search seed.
+type SearchStarted struct {
+	Store      string   `json:"store"`
+	Sites      int      `json:"sites"`
+	Objectives []string `json:"objectives"`
+	Seed       int64    `json:"seed"`
+}
+
+func (SearchStarted) EventKind() Kind    { return KindSearchStarted }
+func (SearchStarted) EngineName() string { return "" }
+func (e SearchStarted) Logline() (string, []any) {
+	return "search started over %d sites on %v (store %s, seed %d)",
+		[]any{e.Sites, e.Objectives, e.Store, e.Seed}
+}
+
+// SearchFront reports the outcome of one offline search: the Pareto front
+// size, the number of cost evaluations spent, and how many front members
+// dominate the all-baseline assignment on at least two objectives.
+type SearchFront struct {
+	Sites       int `json:"sites"`
+	FrontSize   int `json:"front_size"`
+	Evaluations int `json:"evaluations"`
+	// DominatingBaseline counts front members no worse than the baseline
+	// everywhere and strictly better on >= 2 objectives.
+	DominatingBaseline int `json:"dominating_baseline"`
+}
+
+func (SearchFront) EventKind() Kind    { return KindSearchFront }
+func (SearchFront) EngineName() string { return "" }
+func (e SearchFront) Logline() (string, []any) {
+	return "search front: %d assignments over %d sites (%d evaluations, %d dominate baseline)",
+		[]any{e.FrontSize, e.Sites, e.Evaluations, e.DominatingBaseline}
+}
+
+// PatchEmitted reports one variant-pinning source patch written by collopt:
+// the file rewritten, how many sites were pinned in it, and where the patch
+// went (a unified diff, an -o output tree, or the file itself under -w).
+type PatchEmitted struct {
+	File   string `json:"file"`
+	Pinned int    `json:"pinned"`
+	Output string `json:"output"`
+}
+
+func (PatchEmitted) EventKind() Kind    { return KindPatchEmitted }
+func (PatchEmitted) EngineName() string { return "" }
+func (e PatchEmitted) Logline() (string, []any) {
+	return "patch emitted for %s: %d sites pinned -> %s", []any{e.File, e.Pinned, e.Output}
 }

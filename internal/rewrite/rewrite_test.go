@@ -284,3 +284,175 @@ func Build() int {
 		t.Errorf("still-used collections import removed:\n%s", out)
 	}
 }
+
+func TestScanRecognizesFullCatalog(t *testing.T) {
+	src := `package demo
+
+import "repro/internal/collections"
+
+func build() {
+	a := collections.NewLinkedList[int]()
+	b := collections.NewOpenHashSet[string]()
+	c := collections.NewArrayMap[string, int]()
+	_, _, _ = a, b, c
+}
+`
+	res, err := NewRewriter().Scan([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 3 {
+		t.Fatalf("sites = %d, want 3 (%+v)", len(res.Sites), res.Sites)
+	}
+	wantVariants := []collections.VariantID{
+		collections.LinkedListID,
+		collections.OpenHashSetBalID,
+		collections.ArrayMapID,
+	}
+	for i, want := range wantVariants {
+		if res.Sites[i].Variant != want {
+			t.Errorf("site %d variant = %q, want %q", i, res.Sites[i].Variant, want)
+		}
+	}
+	if res.Sites[0].Name() != "demo.go:6" {
+		t.Errorf("site 0 name = %q", res.Sites[0].Name())
+	}
+}
+
+func TestScanReportsSkippedSites(t *testing.T) {
+	src := `package demo
+
+import "repro/internal/collections"
+
+func build() {
+	a := collections.NewArrayListCap[int](10)
+	b := collections.NewAVLTreeSet[int]()
+	c := collections.NewHashSet[int]()
+	d := collections.NewFrobnicator[int]()
+	_, _, _, _ = a, b, c, d
+}
+`
+	res, err := NewRewriter().Scan([]byte(src), "demo.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 1 || res.Sites[0].Variant != collections.HashSetID {
+		t.Fatalf("sites = %+v, want the one NewHashSet site", res.Sites)
+	}
+	if len(res.Skipped) != 3 {
+		t.Fatalf("skipped = %d, want 3: %+v", len(res.Skipped), res.Skipped)
+	}
+	reasons := map[string]string{}
+	for _, s := range res.Skipped {
+		reasons[s.Call] = s.Reason
+	}
+	if r := reasons["collections.NewArrayListCap[int](10)"]; !strings.Contains(r, "parameterized") {
+		t.Errorf("cap-call reason = %q", r)
+	}
+	if r := reasons["collections.NewAVLTreeSet[int]()"]; !strings.Contains(r, "cmp.Ordered") {
+		t.Errorf("sorted reason = %q", r)
+	}
+	if r := reasons["collections.NewFrobnicator[int]()"]; !strings.Contains(r, "no catalog variant") {
+		t.Errorf("unknown reason = %q", r)
+	}
+}
+
+func TestRewritePinnedMode(t *testing.T) {
+	src := `package demo
+
+import "repro/internal/collections"
+
+func build() int {
+	l := collections.NewArrayList[int]()
+	s := collections.NewHashSet[string]()
+	l.Add(1)
+	s.Add("x")
+	return l.Len() + s.Len()
+}
+`
+	pin := func(s Site) (collections.VariantID, bool) {
+		if s.Kind == collections.ListAbstraction {
+			return collections.HashArrayListID, true
+		}
+		return "", false
+	}
+	out, res, err := NewRewriter().Rewrite([]byte(src), "demo.go", Config{Pin: pin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 1 {
+		t.Fatalf("rewrote %d sites, want 1", len(res.Sites))
+	}
+	text := string(out)
+	for _, want := range []string{
+		`core.WithDefaultVariant("list/hasharray")`,
+		`core.WithCandidates("list/hasharray")`,
+		"switchCtx1.NewList()",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("pinned output missing %q\n---\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "switchCtx2") {
+		t.Error("unpinned set site was rewritten")
+	}
+	var unpinned bool
+	for _, sk := range res.Skipped {
+		if strings.Contains(sk.Reason, "not selected") {
+			unpinned = true
+		}
+	}
+	if !unpinned {
+		t.Errorf("unpinned site not reported as skipped: %+v", res.Skipped)
+	}
+	// Pinned output must still be idempotent under a second pass.
+	again, res2, err := NewRewriter().Rewrite(out, "demo.go", Config{Pin: pin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Sites) != 0 || string(again) != string(out) {
+		t.Fatal("pinned rewrite is not idempotent")
+	}
+}
+
+func TestRewritePinnedRejectsWrongAbstraction(t *testing.T) {
+	src := `package demo
+
+import "repro/internal/collections"
+
+func build() int {
+	l := collections.NewArrayList[int]()
+	l.Add(1)
+	return l.Len()
+}
+`
+	pin := func(Site) (collections.VariantID, bool) { return collections.HashSetID, true }
+	if _, _, err := NewRewriter().Rewrite([]byte(src), "demo.go", Config{Pin: pin}); err == nil {
+		t.Fatal("pinning a list site to a set variant succeeded")
+	}
+}
+
+func TestRewriteAllConstructorsMode(t *testing.T) {
+	// DefaultsOnly=false extends the adaptive rewrite to every recognized
+	// constructor, keeping the recognized variant as the context default.
+	src := `package demo
+
+import "repro/internal/collections"
+
+func build() int {
+	l := collections.NewLinkedList[int]()
+	l.Add(1)
+	return l.Len()
+}
+`
+	out, res, err := NewRewriter().Rewrite([]byte(src), "demo.go", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 1 {
+		t.Fatalf("rewrote %d sites, want 1", len(res.Sites))
+	}
+	if !strings.Contains(string(out), `core.WithDefaultVariant("list/linked")`) {
+		t.Errorf("linked-list default not preserved:\n%s", out)
+	}
+}

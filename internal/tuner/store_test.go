@@ -176,3 +176,58 @@ func mutateStoreFile(t *testing.T, path string, mutate func(map[string]any)) {
 		t.Fatal(err)
 	}
 }
+
+func TestReadStoreTolerantOfFingerprintMismatch(t *testing.T) {
+	s := savedStore(t)
+	m := perfmodel.NewModels()
+	m.Set(collections.ArrayListID, perfmodel.OpContains, perfmodel.DimTimeNS, polyfit.Poly{Coeffs: []float64{0, 3}})
+	s.SetModels(m)
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Directory and file paths both resolve.
+	forDir, err := ReadStore(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forFile, err := ReadStore(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forDir.Sites) != 1 || len(forFile.Sites) != 1 {
+		t.Fatalf("sites = %d / %d, want 1", len(forDir.Sites), len(forFile.Sites))
+	}
+	if !forDir.FingerprintMatches {
+		t.Error("same-machine store reported a fingerprint mismatch")
+	}
+	if forDir.Models == nil || forDir.Models.Cost(collections.ArrayListID, perfmodel.OpContains, perfmodel.DimTimeNS, 10) != 30 {
+		t.Error("models not decoded")
+	}
+
+	// A foreign fingerprint is reported, not rejected — offline search over
+	// a store committed from another machine is deliberate.
+	mutateStoreFile(t, s.Path(), func(doc map[string]any) {
+		fp := doc["fingerprint"].(map[string]any)
+		fp["cpu_model"] = "some other machine"
+	})
+	foreign, err := ReadStore(s.dir)
+	if err != nil {
+		t.Fatalf("foreign-fingerprint store rejected by ReadStore: %v", err)
+	}
+	if foreign.FingerprintMatches {
+		t.Error("foreign store claimed a fingerprint match")
+	}
+	if len(foreign.Sites) != 1 || foreign.Sites[0].Name != "demo:list" {
+		t.Errorf("foreign store sites = %+v", foreign.Sites)
+	}
+
+	// Schema and decode failures still fail.
+	mutateStoreFile(t, s.Path(), func(doc map[string]any) { doc["schema"] = 99 })
+	if _, err := ReadStore(s.dir); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, err := ReadStore(t.TempDir()); err == nil {
+		t.Error("missing store file accepted")
+	}
+}
